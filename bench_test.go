@@ -1,0 +1,190 @@
+package creditp2p
+
+// One benchmark per paper artifact (Table I, Figs. 1-11) plus the DESIGN.md
+// ablations. Each bench regenerates the artifact at the Quick preset via
+// the experiment registry — the same code path as `cmd/experiments` — so
+// `go test -bench=.` doubles as a smoke-reproduction of the entire
+// evaluation. Micro-benchmarks for the analytic kernels follow.
+
+import (
+	"io"
+	"testing"
+
+	"creditp2p/internal/core"
+	"creditp2p/internal/queueing"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/xrand"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := RunExperiment(id, Quick, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Mapping regenerates the Table I mapping (via the model
+// builder the mapping defines) on the paper's overlay.
+func BenchmarkTable1Mapping(b *testing.B) {
+	r := xrand.New(1)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 500, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mu := make(map[int]float64, g.NumNodes())
+	for _, id := range g.Nodes() {
+		mu[id] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildModel(ModelConfig{Graph: g, Mu: mu, Routing: RoutingUniform}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1SpendingRates(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFig2Lorenz(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig3GiniVsWealth(b *testing.B)   { benchExperiment(b, "fig3") }
+func BenchmarkFig4Efficiency(b *testing.B)     { benchExperiment(b, "fig4") }
+func BenchmarkFig5EarlyStage(b *testing.B)     { benchExperiment(b, "fig5") }
+func BenchmarkFig6LateStage(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7SymmetricGini(b *testing.B)  { benchExperiment(b, "fig7") }
+func BenchmarkFig8AsymmetricGini(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9Taxation(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10DynamicRates(b *testing.B)  { benchExperiment(b, "fig10") }
+func BenchmarkFig11Churn(b *testing.B)         { benchExperiment(b, "fig11") }
+
+// Ablations and extensions from DESIGN.md.
+func BenchmarkAblationMarginals(b *testing.B) { benchExperiment(b, "exact-vs-approx") }
+func BenchmarkAblationThreshold(b *testing.B) { benchExperiment(b, "threshold") }
+func BenchmarkExtPricing(b *testing.B)        { benchExperiment(b, "pricing") }
+func BenchmarkExtInflation(b *testing.B)      { benchExperiment(b, "inflation") }
+
+// --- Analytic kernel micro-benchmarks ---
+
+func BenchmarkGini1000(b *testing.B) {
+	r := xrand.New(3)
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = r.Float64() * 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Gini(values); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuzenConvolutionN100M10000(b *testing.B) {
+	u := make([]float64, 100)
+	for i := range u {
+		u[i] = 0.3 + 0.007*float64(i)
+	}
+	u[99] = 1
+	closed, err := queueing.NewClosed(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := closed.LogG(10000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactMarginalN100M1000(b *testing.B) {
+	u := make([]float64, 100)
+	for i := range u {
+		u[i] = 0.5
+	}
+	u[0] = 1
+	closed, err := queueing.NewClosed(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := closed.Marginal(0, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProductFormSampling(b *testing.B) {
+	u := make([]float64, 200)
+	for i := range u {
+		u[i] = 1
+	}
+	closed, err := queueing.NewClosed(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sampler, err := closed.NewSampler(20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sampler.Sample(r)
+	}
+}
+
+func BenchmarkThresholdEq4(b *testing.B) {
+	d := core.BetaLikeDensity{Alpha: 2}
+	for i := 0; i < b.N; i++ {
+		core.Threshold(d)
+	}
+}
+
+func BenchmarkMarketSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := xrand.New(7)
+		g, err := topology.RandomRegular(100, 10, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunMarket(MarketConfig{
+			Graph:         g,
+			InitialWealth: 20,
+			DefaultMu:     1,
+			Horizon:       1000,
+			Seed:          8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SpendEvents), "events/run")
+	}
+}
+
+func BenchmarkStreamingSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := xrand.New(9)
+		g, err := topology.RandomRegular(100, 10, r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunStreaming(StreamingConfig{
+			Graph:          g,
+			StreamRate:     1,
+			DelaySeconds:   10,
+			UploadCap:      1,
+			DownloadCap:    2,
+			SourceSeeds:    3,
+			InitialWealth:  12,
+			HorizonSeconds: 300,
+			Seed:           10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ChunksTraded), "chunks/run")
+	}
+}

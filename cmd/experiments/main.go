@@ -1,0 +1,61 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig7 [-preset full]
+//	experiments -all [-preset quick]
+//
+// Quick (default) runs scaled-down configurations in seconds; full runs
+// paper-scale parameters (N up to 1000 peers, 40 000 simulated seconds) and
+// can take minutes per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"creditp2p"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list available experiments")
+	id := fs.String("id", "", "experiment id to run (fig1..fig11, exact-vs-approx, threshold, pricing)")
+	all := fs.Bool("all", false, "run every experiment")
+	presetName := fs.String("preset", "quick", "quick or full")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	preset := creditp2p.Quick
+	switch *presetName {
+	case "quick":
+	case "full":
+		preset = creditp2p.Full
+	default:
+		return fmt.Errorf("unknown preset %q (want quick or full)", *presetName)
+	}
+
+	switch {
+	case *list:
+		for _, e := range creditp2p.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return nil
+	case *all:
+		return creditp2p.RunAllExperiments(preset, os.Stdout)
+	case *id != "":
+		return creditp2p.RunExperiment(*id, preset, os.Stdout)
+	default:
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -id or -all")
+	}
+}

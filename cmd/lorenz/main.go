@@ -1,0 +1,107 @@
+// Command lorenz computes inequality statistics of a wealth vector: Gini
+// index, Lorenz curve (table + ASCII chart) and share percentiles.
+//
+// Values are read as whitespace/comma-separated numbers from the arguments
+// or stdin:
+//
+//	echo "1 2 3 50" | lorenz
+//	lorenz 5 5 5 5
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"creditp2p"
+	"creditp2p/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lorenz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	values, err := parseValues(args)
+	if err != nil {
+		return err
+	}
+	gini, err := creditp2p.Gini(values)
+	if err != nil {
+		return err
+	}
+	curve, err := creditp2p.Lorenz(values)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("n=%d  gini=%.4f\n\n", len(values), gini)
+
+	tab := trace.Table{Header: []string{"bottom share", "wealth share"}}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		tab.AddFloats(fmt.Sprintf("%.0f%%", q*100), lorenzAt(curve, q))
+	}
+	if err := tab.Write(os.Stdout); err != nil {
+		return err
+	}
+
+	series := trace.NewSeries("lorenz")
+	diag := trace.NewSeries("equality")
+	for _, pt := range curve {
+		series.Add(pt.PopShare, pt.WealthShare)
+	}
+	diag.Add(0, 0)
+	diag.Add(1, 1)
+	var set trace.Set
+	set.Add(series)
+	set.Add(diag)
+	fmt.Println()
+	return trace.Chart{Width: 56, Height: 14, YMax: 1}.Render(os.Stdout, &set)
+}
+
+func lorenzAt(curve []creditp2p.LorenzPoint, pop float64) float64 {
+	for _, pt := range curve {
+		if pt.PopShare >= pop {
+			return pt.WealthShare
+		}
+	}
+	return 1
+}
+
+func parseValues(args []string) ([]float64, error) {
+	var tokens []string
+	if len(args) > 0 {
+		tokens = args
+	} else {
+		scanner := bufio.NewScanner(os.Stdin)
+		scanner.Buffer(make([]byte, 1<<20), 1<<24)
+		for scanner.Scan() {
+			tokens = append(tokens, strings.FieldsFunc(scanner.Text(), func(r rune) bool {
+				return r == ' ' || r == '\t' || r == ','
+			})...)
+		}
+		if err := scanner.Err(); err != nil {
+			return nil, err
+		}
+	}
+	values := make([]float64, 0, len(tokens))
+	for _, tok := range tokens {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", tok, err)
+		}
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("no values supplied (args or stdin)")
+	}
+	return values, nil
+}

@@ -1,0 +1,184 @@
+// Package creditp2p is a library for studying the sustainability of
+// credit-incentivized peer-to-peer content distribution, reproducing Qiu,
+// Huang, Wu, Li and Lau, "Exploring the Sustainability of
+// Credit-incentivized Peer-to-Peer Content Distribution" (ICDCSW 2012).
+//
+// The package offers three levels of entry:
+//
+//   - Theory: map a P2P market onto a closed Jackson queueing network
+//     (BuildModel), compute its equilibrium, the Eq. (4) condensation
+//     threshold, exact finite-network wealth marginals and Gini indices
+//     (Analyze).
+//   - Simulation: run the credit-market simulator at queue granularity
+//     (RunMarket) or the protocol-faithful mesh-pull streaming market
+//     (RunStreaming), with taxation, dynamic spending rates and churn.
+//   - Experiments: regenerate every table and figure of the paper
+//     (RunExperiment, Experiments).
+//
+// All computation is deterministic given the seeds embedded in configs.
+package creditp2p
+
+import (
+	"io"
+
+	"creditp2p/internal/core"
+	"creditp2p/internal/credit"
+	"creditp2p/internal/experiments"
+	"creditp2p/internal/market"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/streaming"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/xrand"
+)
+
+// Re-exported core types. The underlying implementations live in internal
+// packages; these aliases are the supported public surface.
+type (
+	// Graph is a mutable undirected overlay topology.
+	Graph = topology.Graph
+	// ScaleFreeConfig parameterizes scale-free overlay generation.
+	ScaleFreeConfig = topology.ScaleFreeConfig
+
+	// Model is the Jackson-network image of a P2P market (Table I).
+	Model = core.Model
+	// ModelConfig configures BuildModel.
+	ModelConfig = core.ModelConfig
+	// Report is the sustainability analysis of a market.
+	Report = core.Report
+	// AnalyzeOptions tunes Analyze.
+	AnalyzeOptions = core.AnalyzeOptions
+	// Density is a utilization density over [0,1] for the Eq. (4) threshold.
+	Density = core.Density
+	// ThresholdResult is the Eq. (4) condensation threshold verdict.
+	ThresholdResult = core.ThresholdResult
+
+	// MarketConfig configures the queue-granularity market simulator.
+	MarketConfig = market.Config
+	// MarketResult is the market simulator output.
+	MarketResult = market.Result
+	// ChurnConfig enables open-network peer dynamics.
+	ChurnConfig = market.ChurnConfig
+
+	// StreamingConfig configures the mesh-pull streaming market.
+	StreamingConfig = streaming.Config
+	// StreamingResult is the streaming simulator output.
+	StreamingResult = streaming.Result
+
+	// Ledger tracks peer credit balances with conservation checking.
+	Ledger = credit.Ledger
+	// Pricing quotes per-chunk prices.
+	Pricing = credit.Pricing
+	// UniformPricing charges a flat per-chunk price.
+	UniformPricing = credit.UniformPricing
+	// PerPeerPricing lets each seller set a flat price.
+	PerPeerPricing = credit.PerPeerPricing
+	// TaxPolicy is the Sec. VI-C taxation counter-measure.
+	TaxPolicy = credit.TaxPolicy
+	// DynamicSpending is the Sec. VI-D wealth-coupled spending policy.
+	DynamicSpending = credit.DynamicSpending
+
+	// LorenzPoint is one point of a Lorenz curve.
+	LorenzPoint = stats.LorenzPoint
+
+	// RNG is the deterministic random source used across the library.
+	RNG = xrand.RNG
+
+	// Experiment is one reproducible paper artifact.
+	Experiment = experiments.Experiment
+	// Preset selects experiment scale (Quick or Full).
+	Preset = experiments.Preset
+)
+
+// Routing policies for BuildModel.
+const (
+	// RoutingUniform spends equally across neighbors.
+	RoutingUniform = core.RoutingUniform
+	// RoutingDegreeWeighted spends proportionally to neighbor degree.
+	RoutingDegreeWeighted = core.RoutingDegreeWeighted
+)
+
+// Routing policies for the market simulator.
+const (
+	// RouteUniform buys uniformly from neighbors.
+	RouteUniform = market.RouteUniform
+	// RouteDegreeWeighted buys proportionally to neighbor degree.
+	RouteDegreeWeighted = market.RouteDegreeWeighted
+	// RouteAvailability buys proportionally to neighbors' live inventory.
+	RouteAvailability = market.RouteAvailability
+)
+
+// Experiment presets.
+const (
+	// Quick runs scaled-down experiment configurations.
+	Quick = experiments.Quick
+	// Full runs paper-scale configurations.
+	Full = experiments.Full
+)
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed int64) *RNG { return xrand.New(seed) }
+
+// NewScaleFreeOverlay generates the paper's overlay: power-law degrees with
+// the given shape (2.5 in the paper) and mean degree (20 in the paper).
+func NewScaleFreeOverlay(n int, alpha, meanDegree float64, r *RNG) (*Graph, error) {
+	return topology.ScaleFree(topology.ScaleFreeConfig{N: n, Alpha: alpha, MeanDegree: meanDegree}, r)
+}
+
+// NewRegularOverlay generates a random d-regular overlay — the
+// symmetric-utilization substrate.
+func NewRegularOverlay(n, d int, r *RNG) (*Graph, error) {
+	return topology.RandomRegular(n, d, r)
+}
+
+// BuildModel maps a P2P market onto its closed Jackson network: transfer
+// matrix, equilibrium income rates (Lemma 1) and normalized utilizations
+// (Eq. 2).
+func BuildModel(cfg ModelConfig) (*Model, error) { return core.BuildModel(cfg) }
+
+// Analyze produces the sustainability report of a market at the given
+// average wealth: condensation verdicts (Theorems 2-3), expected
+// equilibrium Gini, top-share, and exchange efficiency (Eq. 9).
+func Analyze(m *Model, avgWealth float64, opts AnalyzeOptions) (*Report, error) {
+	return core.Analyze(m, avgWealth, opts)
+}
+
+// Threshold computes the Eq. (4) condensation threshold of a utilization
+// density.
+func Threshold(f Density) ThresholdResult { return core.Threshold(f) }
+
+// NewTaxPolicy validates and builds a taxation policy (rate in [0,1],
+// threshold >= 0).
+func NewTaxPolicy(rate float64, threshold int64) (*TaxPolicy, error) {
+	return credit.NewTaxPolicy(rate, threshold)
+}
+
+// RunMarket executes the queue-granularity credit-market simulation.
+func RunMarket(cfg MarketConfig) (*MarketResult, error) { return market.Run(cfg) }
+
+// RunStreaming executes the protocol-level mesh-pull streaming market.
+func RunStreaming(cfg StreamingConfig) (*StreamingResult, error) { return streaming.Run(cfg) }
+
+// Gini returns the Gini index of a non-negative sample (0 = equality,
+// near 1 = extreme condensation).
+func Gini(values []float64) (float64, error) { return stats.Gini(values) }
+
+// Lorenz returns the Lorenz curve of a non-negative sample.
+func Lorenz(values []float64) ([]LorenzPoint, error) { return stats.Lorenz(values) }
+
+// Experiments lists every reproducible paper artifact.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment regenerates one paper artifact by id (fig1..fig11,
+// exact-vs-approx, threshold, pricing), writing tables and charts to w.
+func RunExperiment(id string, p Preset, w io.Writer) error {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return err
+	}
+	return e.Run(p, w)
+}
+
+// RunAllExperiments regenerates every artifact under the preset.
+func RunAllExperiments(p Preset, w io.Writer) error {
+	return experiments.RunAll(p, w)
+}

@@ -1,0 +1,63 @@
+// Churn example (Fig. 11 scenario): peer dynamics turn the closed credit
+// economy into an open one — joining peers mint their endowment, departing
+// peers burn their savings. Compares a static overlay against churned
+// markets with different lifespans, showing that churn flattens the wealth
+// distribution and that longer-lived peers accumulate more.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"creditp2p"
+)
+
+func main() {
+	const (
+		peers   = 150
+		degree  = 12
+		wealth  = 100
+		horizon = 3000
+	)
+	cases := []struct {
+		name     string
+		arrival  float64
+		lifespan float64
+	}{
+		{"static overlay", 0, 0},
+		{"lifespan=500s, arr=0.3/s", 0.3, 500},
+		{"lifespan=1000s, arr=0.15/s", 0.15, 1000},
+		{"lifespan=2000s, arr=0.075/s", 0.075, 2000},
+	}
+	for _, c := range cases {
+		rng := creditp2p.NewRNG(21)
+		overlay, err := creditp2p.NewScaleFreeOverlay(peers, 2.5, float64(degree), rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := creditp2p.MarketConfig{
+			Graph:         overlay,
+			InitialWealth: wealth,
+			DefaultMu:     1,
+			Horizon:       horizon,
+			Seed:          22,
+		}
+		if c.arrival > 0 {
+			cfg.Churn = &creditp2p.ChurnConfig{
+				ArrivalRate:  c.arrival,
+				MeanLifespan: c.lifespan,
+				AttachDegree: degree,
+				Preferential: true,
+			}
+		}
+		res, err := creditp2p.RunMarket(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s gini=%.3f  joins=%-4d departures=%-4d steady-pop=%.0f\n",
+			c.name, res.Gini.Tail(10), res.Joins, res.Departures, res.Population.Tail(10))
+	}
+	fmt.Println("\nChurn keeps the Gini below the static market: peers depart before")
+	fmt.Println("accumulating excessive credits; longer lifespans raise the skew")
+	fmt.Println("(paper Sec. VI-E, open Jackson network).")
+}

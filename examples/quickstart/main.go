@@ -1,0 +1,60 @@
+// Quickstart: build a credit-based P2P market, predict its sustainability
+// with the paper's queueing-network theory, then verify the prediction with
+// the discrete-event simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"creditp2p"
+)
+
+func main() {
+	// 1. An overlay of 150 peers, 12 neighbors each (regular => symmetric
+	// utilization, the paper's safe configuration).
+	rng := creditp2p.NewRNG(42)
+	overlay, err := creditp2p.NewRegularOverlay(150, 12, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Map the market onto its closed Jackson network (Table I) and
+	// analyze: equilibrium utilizations, condensation threshold (Eq. 4),
+	// expected equilibrium Gini, and exchange efficiency (Eq. 9).
+	mu := make(map[int]float64, overlay.NumNodes())
+	for _, id := range overlay.Nodes() {
+		mu[id] = 1 // every peer willing to spend 1 credit/s
+	}
+	model, err := creditp2p.BuildModel(creditp2p.ModelConfig{
+		Graph:   overlay,
+		Mu:      mu,
+		Routing: creditp2p.RoutingUniform,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const avgWealth = 50 // credits endowed per peer
+	report, err := creditp2p.Analyze(model, avgWealth, creditp2p.AnalyzeOptions{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("theory:    symmetry-index=%.3f  condenses=%v  expected-gini=%.3f  efficiency=%.3f\n",
+		report.SymmetryIndex, report.Parametric.Condenses, report.ExpectedGini, report.Efficiency.Approx)
+
+	// 3. Run the market and compare.
+	result, err := creditp2p.RunMarket(creditp2p.MarketConfig{
+		Graph:         overlay,
+		InitialWealth: avgWealth,
+		DefaultMu:     1,
+		Horizon:       4000,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated: %d credit transfers, stabilized gini=%.3f\n",
+		result.SpendEvents, result.Gini.Tail(10))
+	fmt.Println("\nA symmetric market converges to a moderate, stable Gini (~0.5):")
+	fmt.Println("credits circulate indefinitely — no wealth condensation.")
+}

@@ -1,0 +1,81 @@
+// Taxation example (Fig. 9 scenario): an asymmetric-utilization market
+// condenses; income taxation with redistribution counteracts it. Compares
+// no taxation against rate x threshold combinations and prints the
+// stabilized Gini of each policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"creditp2p"
+	"creditp2p/internal/market"
+)
+
+func main() {
+	const (
+		peers   = 150
+		degree  = 12
+		wealth  = 100
+		horizon = 10000
+	)
+	policies := []struct {
+		name      string
+		rate      float64
+		threshold int64
+	}{
+		{"no taxation", 0, 0},
+		{"rate=0.1 threshold=50", 0.1, 50},
+		{"rate=0.2 threshold=50", 0.2, 50},
+		{"rate=0.1 threshold=80", 0.1, 80},
+		{"rate=0.2 threshold=80", 0.2, 80},
+	}
+	for _, p := range policies {
+		gini, collected, err := run(peers, degree, wealth, horizon, p.rate, p.threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s stabilized gini=%.3f  collected=%d credits\n", p.name, gini, collected)
+	}
+	fmt.Println("\nTaxing income of peers above a threshold near the average wealth,")
+	fmt.Println("and redistributing one credit per peer per collected round, inhibits")
+	fmt.Println("the skewness of the credit distribution (paper Sec. VI-C).")
+}
+
+func run(peers, degree int, wealth int64, horizon float64, rate float64, threshold int64) (float64, int64, error) {
+	rng := creditp2p.NewRNG(42)
+	overlay, err := creditp2p.NewRegularOverlay(peers, degree, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Asymmetric utilization: targets drawn from [0.25, 1], realized by
+	// per-peer spending rates (the paper's "configured" asymmetric case).
+	targetU, err := market.UniformUtilizations(overlay, 0.25, creditp2p.NewRNG(43))
+	if err != nil {
+		return 0, 0, err
+	}
+	mu, err := market.MuForUtilization(overlay, market.RouteUniform, targetU, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := creditp2p.MarketConfig{
+		Graph:         overlay,
+		InitialWealth: wealth,
+		DefaultMu:     1,
+		BaseMu:        mu,
+		Horizon:       horizon,
+		Seed:          44,
+	}
+	if rate > 0 {
+		tax, err := creditp2p.NewTaxPolicy(rate, threshold)
+		if err != nil {
+			return 0, 0, err
+		}
+		cfg.Tax = tax
+	}
+	res, err := creditp2p.RunMarket(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.Gini.Tail(12), res.TaxCollected, nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"creditp2p/internal/queueing"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/xrand"
+)
+
+// AnalyzeOptions tunes the sustainability analysis.
+type AnalyzeOptions struct {
+	// GiniDraws is the number of exact equilibrium samples used to estimate
+	// the expected Gini. Zero means 200. Negative disables the estimate.
+	GiniDraws int
+	// DensityBins is the histogram resolution for the empirical utilization
+	// density feeding Eq. (4). Zero means 20.
+	DensityBins int
+	// Seed drives the sampling RNG.
+	Seed int64
+}
+
+// Report is the sustainability verdict for a market at a given average
+// wealth: the quantities the paper derives in Sec. IV–V, computed exactly
+// where feasible.
+type Report struct {
+	// N is the number of peers, M the total credits, AvgWealth = M/N.
+	N         int
+	M         int
+	AvgWealth float64
+	// SymmetryIndex is the utilization coefficient of variation (0 =
+	// perfectly symmetric, the corollary's safe case).
+	SymmetryIndex float64
+	// MinU is the smallest normalized utilization.
+	MinU float64
+	// Empirical is the Theorems 2–3 verdict under the histogram density.
+	Empirical CondensationPrediction
+	// Parametric is the verdict under the moment-fitted BetaLike density.
+	Parametric CondensationPrediction
+	// ExpectedGini estimates the equilibrium wealth Gini (NaN when
+	// disabled or infeasible).
+	ExpectedGini float64
+	// TopShare estimates the expected fraction of all credits held by the
+	// wealthiest 1% of peers (at least one peer) at equilibrium.
+	TopShare float64
+	// Efficiency is the Sec. V-B3 content-exchange efficiency.
+	Efficiency Efficiency
+}
+
+// Analyze computes the full sustainability report for a model with average
+// wealth avgWealth credits per peer.
+func Analyze(m *Model, avgWealth float64, opts AnalyzeOptions) (*Report, error) {
+	if avgWealth < 0 || math.IsNaN(avgWealth) {
+		return nil, fmt.Errorf("%w: average wealth %v", ErrBadModel, avgWealth)
+	}
+	if opts.GiniDraws == 0 {
+		opts.GiniDraws = 200
+	}
+	if opts.DensityBins == 0 {
+		opts.DensityBins = 20
+	}
+	n := m.N()
+	total := int(math.Round(avgWealth * float64(n)))
+
+	rep := &Report{
+		N:             n,
+		M:             total,
+		AvgWealth:     avgWealth,
+		SymmetryIndex: m.SymmetryIndex(),
+		ExpectedGini:  math.NaN(),
+		TopShare:      math.NaN(),
+	}
+	rep.MinU = 1
+	for _, u := range m.U {
+		if u < rep.MinU {
+			rep.MinU = u
+		}
+	}
+
+	// Theorems 2–3 under two density estimates.
+	if isSymmetric(m.U) {
+		rep.Empirical = PredictCondensation(SymmetricDensity{}, avgWealth)
+		rep.Parametric = rep.Empirical
+	} else {
+		emp, err := NewEmpiricalDensity(m.U, opts.DensityBins)
+		if err != nil {
+			return nil, err
+		}
+		rep.Empirical = PredictCondensation(emp, avgWealth)
+		fit, err := FitBetaLike(m.U)
+		if err != nil {
+			return nil, err
+		}
+		rep.Parametric = PredictCondensation(fit, avgWealth)
+	}
+
+	// Efficiency (Eq. 9).
+	if n >= 2 {
+		eff, err := ExchangeEfficiency(n, total)
+		if err != nil {
+			return nil, err
+		}
+		rep.Efficiency = eff
+	}
+
+	// Exact equilibrium Gini and top-1% share by product-form sampling.
+	if opts.GiniDraws > 0 {
+		closed, err := m.Closed()
+		if err != nil {
+			return nil, err
+		}
+		sampler, err := closed.NewSampler(total)
+		if err == nil {
+			r := xrand.New(opts.Seed)
+			gini, top, err := sampleGiniAndTopShare(sampler, n, opts.GiniDraws, r)
+			if err != nil {
+				return nil, err
+			}
+			rep.ExpectedGini = gini
+			rep.TopShare = top
+		}
+		// Sampler construction can fail only on size grounds; the report
+		// simply omits the estimate then.
+	}
+	return rep, nil
+}
+
+func isSymmetric(u []float64) bool {
+	for _, v := range u {
+		if v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func sampleGiniAndTopShare(s *queueing.Sampler, n, draws int, r *xrand.RNG) (gini, topShare float64, err error) {
+	topCount := n / 100
+	if topCount < 1 {
+		topCount = 1
+	}
+	wealth := make([]float64, n)
+	var giniSum, topSum float64
+	for d := 0; d < draws; d++ {
+		state := s.Sample(r)
+		var total float64
+		for i, b := range state {
+			wealth[i] = float64(b)
+			total += wealth[i]
+		}
+		g, gerr := stats.Gini(wealth)
+		if gerr != nil {
+			return 0, 0, gerr
+		}
+		giniSum += g
+		if total > 0 {
+			sorted := SortedUtilizations(wealth) // ascending copy
+			var top float64
+			for i := n - topCount; i < n; i++ {
+				top += sorted[i]
+			}
+			topSum += top / total
+		}
+	}
+	return giniSum / float64(draws), topSum / float64(draws), nil
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"creditp2p/internal/stats"
+)
+
+// ApproxMarginal computes the paper's multinomial approximation of the
+// finite-network wealth marginal, Eq. (6): peer i's wealth is
+// Binomial(M, u_i / sum_j u_j). Under symmetric utilization this reduces to
+// Eq. (8), Binomial(M, 1/N). The PMF is computed in log space so it stays
+// exact for the paper's largest case (M = 50 000).
+//
+// The approximation treats the M credits as distinguishable balls thrown
+// independently (Maxwell–Boltzmann statistics); the exact product-form
+// marginal (queueing.Closed.Marginal) treats them as indistinguishable
+// (Bose–Einstein) and is skewer. The exact-vs-approx ablation experiment
+// quantifies the gap.
+func ApproxMarginal(u []float64, i, m int) (stats.PMF, error) {
+	if i < 0 || i >= len(u) {
+		return nil, fmt.Errorf("%w: peer %d of %d", ErrBadModel, i, len(u))
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("%w: population %d", ErrBadModel, m)
+	}
+	var total float64
+	for k, v := range u {
+		if v <= 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: u[%d]=%v", ErrBadModel, k, v)
+		}
+		total += v
+	}
+	q := u[i] / total
+	return BinomialPMF(m, q)
+}
+
+// ApproxMarginalSymmetric is Eq. (8): Binomial(M, 1/N).
+func ApproxMarginalSymmetric(n, m int) (stats.PMF, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadModel, n)
+	}
+	return BinomialPMF(m, 1/float64(n))
+}
+
+// BinomialPMF returns the Binomial(m, q) PMF computed stably in log space.
+func BinomialPMF(m int, q float64) (stats.PMF, error) {
+	if m < 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return nil, fmt.Errorf("%w: m=%d q=%v", ErrBadModel, m, q)
+	}
+	pmf := make(stats.PMF, m+1)
+	if q == 0 {
+		pmf[0] = 1
+		return pmf, nil
+	}
+	if q == 1 {
+		pmf[m] = 1
+		return pmf, nil
+	}
+	lgM, _ := math.Lgamma(float64(m) + 1)
+	logQ := math.Log(q)
+	logP := math.Log1p(-q)
+	var sum float64
+	for k := 0; k <= m; k++ {
+		lgK, _ := math.Lgamma(float64(k) + 1)
+		lgMK, _ := math.Lgamma(float64(m-k) + 1)
+		pmf[k] = math.Exp(lgM - lgK - lgMK + float64(k)*logQ + float64(m-k)*logP)
+		sum += pmf[k]
+	}
+	for k := range pmf {
+		pmf[k] /= sum
+	}
+	return pmf, nil
+}
+
+// Efficiency quantifies the content-exchange efficiency of Sec. V-B3: a
+// peer's actual credit departure rate is mu_i (1 - Q{B_i = 0}).
+type Efficiency struct {
+	// Exact is 1 - ((N-1)/N)^M, from Eq. (8) directly.
+	Exact float64
+	// Approx is the large-N limit 1 - e^{-c} of Eq. (9).
+	Approx float64
+}
+
+// ExchangeEfficiency computes both forms for a network of n peers with m
+// total credits (c = m/n).
+func ExchangeEfficiency(n, m int) (Efficiency, error) {
+	if n < 2 || m < 0 {
+		return Efficiency{}, fmt.Errorf("%w: n=%d m=%d", ErrBadModel, n, m)
+	}
+	c := float64(m) / float64(n)
+	exact := -math.Expm1(float64(m) * math.Log(1-1/float64(n)))
+	return Efficiency{
+		Exact:  exact,
+		Approx: -math.Expm1(-c),
+	}, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"creditp2p/internal/queueing"
+	"creditp2p/internal/stats"
+)
+
+func TestBinomialPMFSmall(t *testing.T) {
+	// Binomial(2, 0.5) = (0.25, 0.5, 0.25).
+	pmf, err := BinomialPMF(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.25}
+	for k, w := range want {
+		if math.Abs(pmf[k]-w) > 1e-12 {
+			t.Errorf("P(%d) = %v, want %v", k, pmf[k], w)
+		}
+	}
+}
+
+func TestBinomialPMFEdgeCases(t *testing.T) {
+	pmf, err := BinomialPMF(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmf[0] != 1 {
+		t.Errorf("q=0: P(0) = %v", pmf[0])
+	}
+	pmf, err = BinomialPMF(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmf[5] != 1 {
+		t.Errorf("q=1: P(5) = %v", pmf[5])
+	}
+	if _, err := BinomialPMF(-1, 0.5); err == nil {
+		t.Error("negative m accepted")
+	}
+	if _, err := BinomialPMF(3, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+}
+
+func TestBinomialPMFLargePaperScale(t *testing.T) {
+	// The paper's largest Fig. 2 case: M=50000, N=50 => Binomial(50000, 0.02).
+	pmf, err := ApproxMarginalSymmetric(50, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pmf.Validate(1e-6); err != nil {
+		t.Fatal(err)
+	}
+	if mean := pmf.Mean(); math.Abs(mean-1000) > 1e-6 {
+		t.Errorf("mean = %v, want 1000", mean)
+	}
+	// Variance = M q (1-q) = 980.
+	if v := pmf.Variance(); math.Abs(v-980) > 1e-3 {
+		t.Errorf("variance = %v, want 980", v)
+	}
+}
+
+func TestApproxMarginalEq6(t *testing.T) {
+	// Asymmetric utilizations: q_i = u_i / sum u.
+	u := []float64{1, 0.5, 0.5}
+	pmf, err := ApproxMarginal(u, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q = 0.5: mean 5.
+	if mean := pmf.Mean(); math.Abs(mean-5) > 1e-9 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+}
+
+func TestApproxMarginalErrors(t *testing.T) {
+	if _, err := ApproxMarginal([]float64{1}, 2, 5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := ApproxMarginal([]float64{1, 0}, 0, 5); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := ApproxMarginal([]float64{1}, 0, -1); err == nil {
+		t.Error("negative population accepted")
+	}
+}
+
+func TestApproxVsExactMarginal(t *testing.T) {
+	// The ablation of DESIGN.md: the paper's Eq. (8) binomial approximation
+	// is much more concentrated than the exact Bose–Einstein-like marginal.
+	// Means agree; the exact variance is strictly larger.
+	const n, m = 10, 100
+	approx, err := ApproxMarginalSymmetric(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	closed, err := queueing.NewClosed(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := closed.Marginal(0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(approx.Mean()-exact.Mean()) > 1e-6 {
+		t.Errorf("means differ: approx %v exact %v", approx.Mean(), exact.Mean())
+	}
+	if exact.Variance() < 3*approx.Variance() {
+		t.Errorf("exact variance %v not ≫ approx %v", exact.Variance(), approx.Variance())
+	}
+	gApprox, err := stats.GiniFromPMF(approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gExact, err := stats.GiniFromPMF(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gExact <= gApprox {
+		t.Errorf("exact Gini %v not above approx %v", gExact, gApprox)
+	}
+}
+
+func TestExchangeEfficiency(t *testing.T) {
+	// Eq. (9): both forms close for large N, increasing in c, in [0,1].
+	eff, err := ExchangeEfficiency(1000, 1000) // c = 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eff.Approx-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("approx = %v, want 1-1/e", eff.Approx)
+	}
+	if math.Abs(eff.Exact-eff.Approx) > 1e-3 {
+		t.Errorf("exact %v and approx %v diverge at N=1000", eff.Exact, eff.Approx)
+	}
+	prev := 0.0
+	for _, c := range []int{1, 2, 5, 10} {
+		e, err := ExchangeEfficiency(100, 100*c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Approx <= prev || e.Approx > 1 {
+			t.Errorf("efficiency at c=%d is %v, not increasing in (0,1]", c, e.Approx)
+		}
+		prev = e.Approx
+	}
+	if _, err := ExchangeEfficiency(1, 5); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestAnalyzeSymmetricMarket(t *testing.T) {
+	g, err := topologyComplete(t, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(m, 10, AnalyzeOptions{GiniDraws: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Empirical.Condenses || rep.Parametric.Condenses {
+		t.Error("symmetric market predicted to condense")
+	}
+	if rep.M != 200 {
+		t.Errorf("M = %d, want 200", rep.M)
+	}
+	// Symmetric equilibrium Gini is near 0.5.
+	if math.IsNaN(rep.ExpectedGini) || rep.ExpectedGini < 0.3 || rep.ExpectedGini > 0.65 {
+		t.Errorf("ExpectedGini = %v, want ~0.5", rep.ExpectedGini)
+	}
+	if rep.Efficiency.Approx < 0.99 {
+		t.Errorf("efficiency at c=10 = %v, want ~1", rep.Efficiency.Approx)
+	}
+}
+
+func TestAnalyzeAsymmetricStarMarket(t *testing.T) {
+	// Star topology: hub utilization 1, leaves far below. High wealth must
+	// be flagged as condensing by the parametric verdict, and the
+	// equilibrium Gini must exceed the symmetric market's at the same c.
+	g := starGraph(t, 30)
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(m, 50, AnalyzeOptions{GiniDraws: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SymmetryIndex < 0.5 {
+		t.Errorf("SymmetryIndex = %v, expected strong asymmetry", rep.SymmetryIndex)
+	}
+	if !rep.Parametric.Condenses {
+		t.Errorf("star market at c=50 not predicted to condense (T=%v)", rep.Parametric.Threshold.T)
+	}
+	if math.IsNaN(rep.ExpectedGini) || rep.ExpectedGini < 0.8 {
+		t.Errorf("ExpectedGini = %v, expected near-total condensation", rep.ExpectedGini)
+	}
+	if math.IsNaN(rep.TopShare) || rep.TopShare < 0.5 {
+		t.Errorf("TopShare = %v, expected the hub to hold most credits", rep.TopShare)
+	}
+}
+
+func TestAnalyzeRejectsBadWealth(t *testing.T) {
+	g, err := topologyComplete(t, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(m, -1, AnalyzeOptions{}); err == nil {
+		t.Error("negative wealth accepted")
+	}
+}

@@ -1,0 +1,165 @@
+// Package core implements the paper's primary contribution: the mapping
+// from a credit-based P2P content-distribution market onto a Jackson
+// queueing network (Table I), the existence and shape of the credit
+// equilibrium (Sec. IV), the asymptotic wealth-condensation threshold of
+// Eq. (4) (Theorems 2–3 and the symmetric-utilization corollary), and the
+// finite-network skewness and efficiency laws of Sec. V (Eq. 5–9).
+//
+// The package sits on top of internal/queueing (exact product-form
+// machinery), internal/matrix (equilibrium existence, Lemma 1) and
+// internal/topology (overlay structure), and is consumed by the analyzers,
+// experiments and the public creditp2p facade.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"creditp2p/internal/matrix"
+	"creditp2p/internal/queueing"
+	"creditp2p/internal/topology"
+)
+
+// ErrBadModel is returned when model inputs are inconsistent.
+var ErrBadModel = errors.New("core: invalid model")
+
+// RoutingPolicy selects how a peer splits its purchases among neighbors,
+// which determines the credit transfer probability matrix P.
+type RoutingPolicy int
+
+const (
+	// RoutingUniform spends equally across all neighbors — the streaming
+	// scenario of Sec. V-C1 where every neighbor is equally useful.
+	RoutingUniform RoutingPolicy = iota + 1
+	// RoutingDegreeWeighted spends proportionally to neighbor degree, a
+	// proxy for chunk availability: well-connected peers hold more chunks
+	// and attract more purchases (the asymmetric scenario).
+	RoutingDegreeWeighted
+)
+
+// ModelConfig describes a static P2P credit market to be mapped onto a
+// closed Jackson network.
+type ModelConfig struct {
+	// Graph is the overlay topology. Node ids may be arbitrary ints.
+	Graph *topology.Graph
+	// Mu maps each node id to its maximum credit spending rate mu_i.
+	Mu map[int]float64
+	// Routing selects the purchase-splitting policy.
+	Routing RoutingPolicy
+	// SelfLoop is the fraction of credits a peer reserves (keeps for
+	// itself), the p_ii > 0 of Sec. III-B2. Must be in [0, 1).
+	SelfLoop float64
+}
+
+// Model is the queueing-network image of a P2P market: the Table I mapping
+// made concrete. Index k in every vector refers to IDs[k].
+type Model struct {
+	// IDs lists the peer ids in ascending order; vectors are index-aligned.
+	IDs []int
+	// P is the credit transfer probability matrix (row-stochastic).
+	P *matrix.Dense
+	// Lambda is the equilibrium income-rate vector solving lambda*P = lambda
+	// (Lemma 1), normalized to sum to 1.
+	Lambda []float64
+	// Mu is the maximum spending-rate vector.
+	Mu []float64
+	// U is the normalized utilization vector of Eq. (2).
+	U []float64
+}
+
+// BuildModel maps a P2P market onto its closed Jackson network: it derives
+// P from the topology and routing policy, solves the equilibrium traffic
+// equations, and computes normalized utilizations.
+func BuildModel(cfg ModelConfig) (*Model, error) {
+	if cfg.Graph == nil || cfg.Graph.NumNodes() == 0 {
+		return nil, fmt.Errorf("%w: empty topology", ErrBadModel)
+	}
+	if cfg.SelfLoop < 0 || cfg.SelfLoop >= 1 {
+		return nil, fmt.Errorf("%w: self-loop %v not in [0,1)", ErrBadModel, cfg.SelfLoop)
+	}
+	if cfg.Routing != RoutingUniform && cfg.Routing != RoutingDegreeWeighted {
+		return nil, fmt.Errorf("%w: unknown routing policy %d", ErrBadModel, cfg.Routing)
+	}
+	ids := cfg.Graph.Nodes()
+	n := len(ids)
+	index := make(map[int]int, n)
+	for k, id := range ids {
+		index[id] = k
+	}
+	mu := make([]float64, n)
+	for k, id := range ids {
+		m, ok := cfg.Mu[id]
+		if !ok || m <= 0 || math.IsNaN(m) {
+			return nil, fmt.Errorf("%w: missing or invalid mu for peer %d", ErrBadModel, id)
+		}
+		mu[k] = m
+	}
+
+	p := matrix.NewDense(n, n)
+	for k, id := range ids {
+		nbrs := cfg.Graph.Neighbors(id)
+		if len(nbrs) == 0 {
+			// Isolated peer: all credits stay home.
+			p.Set(k, k, 1)
+			continue
+		}
+		var total float64
+		weights := make([]float64, len(nbrs))
+		for j, nb := range nbrs {
+			switch cfg.Routing {
+			case RoutingDegreeWeighted:
+				weights[j] = float64(cfg.Graph.Degree(nb))
+			default:
+				weights[j] = 1
+			}
+			total += weights[j]
+		}
+		p.Set(k, k, cfg.SelfLoop)
+		for j, nb := range nbrs {
+			p.Set(k, index[nb], (1-cfg.SelfLoop)*weights[j]/total)
+		}
+	}
+	if err := p.CheckRowStochastic(1e-9); err != nil {
+		return nil, fmt.Errorf("transfer matrix: %w", err)
+	}
+	lambda, err := matrix.StationaryVector(p, matrix.StationaryOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("equilibrium (Lemma 1): %w", err)
+	}
+	u, err := queueing.NormalizedUtilizations(lambda, mu)
+	if err != nil {
+		return nil, fmt.Errorf("utilizations: %w", err)
+	}
+	return &Model{IDs: ids, P: p, Lambda: lambda, Mu: mu, U: u}, nil
+}
+
+// N returns the number of peers.
+func (m *Model) N() int { return len(m.IDs) }
+
+// Closed returns the closed Jackson network for this model.
+func (m *Model) Closed() (*queueing.Closed, error) {
+	return queueing.NewClosed(m.U)
+}
+
+// SymmetryIndex quantifies how close the market is to the symmetric
+// utilization case of the corollary in Sec. V-A: it returns the coefficient
+// of variation of the utilization vector (0 means exactly symmetric; the
+// larger, the more asymmetric).
+func (m *Model) SymmetryIndex() float64 {
+	var sum, sumSq float64
+	for _, u := range m.U {
+		sum += u
+		sumSq += u * u
+	}
+	n := float64(len(m.U))
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return math.Sqrt(variance) / mean
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"creditp2p/internal/topology"
+	"creditp2p/internal/xrand"
+)
+
+func uniformMu(g *topology.Graph, mu float64) map[int]float64 {
+	out := make(map[int]float64, g.NumNodes())
+	for _, id := range g.Nodes() {
+		out[id] = mu
+	}
+	return out
+}
+
+func TestBuildModelValidation(t *testing.T) {
+	g, err := topology.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		cfg  ModelConfig
+	}{
+		{"nil-graph", ModelConfig{Mu: map[int]float64{}, Routing: RoutingUniform}},
+		{"bad-selfloop", ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingUniform, SelfLoop: 1}},
+		{"no-routing", ModelConfig{Graph: g, Mu: uniformMu(g, 1)}},
+		{"missing-mu", ModelConfig{Graph: g, Mu: map[int]float64{0: 1}, Routing: RoutingUniform}},
+		{"zero-mu", ModelConfig{Graph: g, Mu: uniformMu(g, 0), Routing: RoutingUniform}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := BuildModel(tc.cfg); !errors.Is(err, ErrBadModel) {
+				t.Errorf("error = %v, want ErrBadModel", err)
+			}
+		})
+	}
+}
+
+func TestBuildModelCompleteGraphSymmetric(t *testing.T) {
+	// Complete graph + uniform routing + equal mu => doubly stochastic P,
+	// uniform lambda, u = (1,...,1): the corollary's symmetric case.
+	g, err := topology.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 2), Routing: RoutingUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range m.U {
+		if math.Abs(u-1) > 1e-9 {
+			t.Errorf("u[%d] = %v, want 1", i, u)
+		}
+	}
+	if s := m.SymmetryIndex(); s > 1e-6 {
+		t.Errorf("SymmetryIndex = %v, want ~0", s)
+	}
+	for _, l := range m.Lambda {
+		if math.Abs(l-1.0/6) > 1e-9 {
+			t.Errorf("lambda = %v, want uniform 1/6", m.Lambda)
+			break
+		}
+	}
+}
+
+func TestBuildModelScaleFreeAsymmetric(t *testing.T) {
+	r := xrand.New(3)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 200, Alpha: 2.5, MeanDegree: 10}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.SymmetryIndex(); s < 0.1 {
+		t.Errorf("SymmetryIndex = %v, expected clear asymmetry on scale-free overlay", s)
+	}
+	// The stationary income rate of a uniform random walk on a graph is
+	// proportional to degree: the highest-degree node has the highest
+	// lambda.
+	maxDeg, maxDegIdx := -1, -1
+	for k, id := range m.IDs {
+		if d := g.Degree(id); d > maxDeg {
+			maxDeg, maxDegIdx = d, k
+		}
+	}
+	maxLambdaIdx := 0
+	for k := range m.Lambda {
+		if m.Lambda[k] > m.Lambda[maxLambdaIdx] {
+			maxLambdaIdx = k
+		}
+	}
+	if maxLambdaIdx != maxDegIdx {
+		t.Errorf("highest income at index %d (deg %d), expected hub index %d (deg %d)",
+			maxLambdaIdx, g.Degree(m.IDs[maxLambdaIdx]), maxDegIdx, maxDeg)
+	}
+}
+
+func TestBuildModelSelfLoop(t *testing.T) {
+	g, err := topology.Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingUniform, SelfLoop: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m.IDs {
+		if math.Abs(m.P.At(k, k)-0.3) > 1e-12 {
+			t.Errorf("p[%d][%d] = %v, want 0.3", k, k, m.P.At(k, k))
+		}
+	}
+	// Self loops do not change the stationary vector of a symmetric market.
+	for _, u := range m.U {
+		if math.Abs(u-1) > 1e-9 {
+			t.Errorf("u = %v, want all ones", m.U)
+			break
+		}
+	}
+}
+
+func TestBuildModelIsolatedPeer(t *testing.T) {
+	g := topology.NewGraph()
+	for i := 0; i < 3; i++ {
+		if err := g.AddNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 is isolated: its row must be a self-loop and the model still
+	// builds (reducible chain handled by the stationary solver).
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingUniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P.At(2, 2) != 1 {
+		t.Errorf("isolated peer self-loop = %v, want 1", m.P.At(2, 2))
+	}
+}
+
+func TestBuildModelDegreeWeightedRouting(t *testing.T) {
+	// Star: center 0 with leaves 1..4, leaves also chained 1-2. Degree
+	// weighting must send more of leaf 3's spending to the center than
+	// uniform would.
+	g := topology.NewGraph()
+	for i := 0; i < 5; i++ {
+		if err := g.AddNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < 5; i++ {
+		if err := g.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildModel(ModelConfig{Graph: g, Mu: uniformMu(g, 1), Routing: RoutingDegreeWeighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peer 1 neighbors: 0 (deg 4) and 2 (deg 2): p_10 = 4/6.
+	if got := m.P.At(1, 0); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("p(1->0) = %v, want 2/3", got)
+	}
+}
+
+func TestMappingTableComplete(t *testing.T) {
+	rows := MappingTable()
+	if len(rows) != 8 {
+		t.Fatalf("Table I has %d rows, want 8", len(rows))
+	}
+	for i, r := range rows {
+		if r.P2P == "" || r.Queueing == "" {
+			t.Errorf("row %d incomplete: %+v", i, r)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"creditp2p/internal/topology"
+)
+
+// topologyComplete builds K_n for analyzer tests.
+func topologyComplete(t *testing.T, n int) (*topology.Graph, error) {
+	t.Helper()
+	return topology.Complete(n)
+}
+
+// starGraph builds a hub-and-spoke graph with n leaves around node 0 — the
+// canonical asymmetric market where all credit flows cross the hub.
+func starGraph(t *testing.T, n int) *topology.Graph {
+	t.Helper()
+	g := topology.NewGraph()
+	if err := g.AddNode(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if err := g.AddNode(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddEdge(0, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}

@@ -1,0 +1,23 @@
+package core
+
+// MappingRow is one row of the paper's Table I: the dictionary between a
+// credit-based P2P overlay and a closed queueing network.
+type MappingRow struct {
+	P2P      string
+	Queueing string
+}
+
+// MappingTable returns the paper's Table I. It documents — and tests pin —
+// the semantic correspondence that BuildModel implements.
+func MappingTable() []MappingRow {
+	return []MappingRow{
+		{"No. of peers, N", "No. of queues, N"},
+		{"A peer i", "A queue i"},
+		{"A unit credit", "A job"},
+		{"Total credits of peer i, B_i", "No. of jobs at queue i, B_i"},
+		{"Total credits M in the overlay", "Total no. of jobs M in the network"},
+		{"Fraction of purchase made by peer i from peer j, p_ij", "Routing probability, p_ij"},
+		{"Peer i's average credit spending rate mu_i", "Queue i's service rate mu_i"},
+		{"Peer i's average income earning rate lambda_i", "Queue i's arrival rate lambda_i"},
+	}
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadDensity is returned for invalid density parameters.
+var ErrBadDensity = errors.New("core: invalid density")
+
+// Density is a probability density of normalized utilizations over [0, 1],
+// the f(w) of Eq. (4). Implementations should integrate to 1 on [0, 1].
+type Density interface {
+	// Eval returns the density at w in [0, 1].
+	Eval(w float64) float64
+}
+
+// exactThresholder is implemented by densities with a closed-form threshold.
+type exactThresholder interface {
+	thresholdExact() (value float64, finite bool)
+}
+
+// BetaLikeDensity is f(w) = (alpha+1)(1-w)^alpha for alpha > -1: utilization
+// mass thins out polynomially near w=1. It is the canonical family for
+// which the condensation threshold is finite:
+//
+//	T = 1/alpha for alpha > 0 (closed form),
+//	T = +inf    for alpha <= 0 (the density does not vanish fast enough).
+type BetaLikeDensity struct {
+	Alpha float64
+}
+
+// NewBetaLikeDensity validates alpha > -1.
+func NewBetaLikeDensity(alpha float64) (BetaLikeDensity, error) {
+	if alpha <= -1 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return BetaLikeDensity{}, fmt.Errorf("%w: alpha=%v", ErrBadDensity, alpha)
+	}
+	return BetaLikeDensity{Alpha: alpha}, nil
+}
+
+// Eval implements Density.
+func (d BetaLikeDensity) Eval(w float64) float64 {
+	if w < 0 || w > 1 {
+		return 0
+	}
+	return (d.Alpha + 1) * math.Pow(1-w, d.Alpha)
+}
+
+func (d BetaLikeDensity) thresholdExact() (float64, bool) {
+	if d.Alpha <= 0 {
+		return math.Inf(1), false
+	}
+	return 1 / d.Alpha, true
+}
+
+// UniformDensity is f(w) = 1 on [0, 1]. Its threshold diverges (T = +inf):
+// with positive density at w = 1, enough peers run at near-maximum
+// utilization that no finite average wealth condenses.
+type UniformDensity struct{}
+
+// Eval implements Density.
+func (UniformDensity) Eval(w float64) float64 {
+	if w < 0 || w > 1 {
+		return 0
+	}
+	return 1
+}
+
+func (UniformDensity) thresholdExact() (float64, bool) { return math.Inf(1), false }
+
+// SymmetricDensity is the point mass at w = 1 — the symmetric-utilization
+// case (u_i = 1 for all i). Its threshold is +inf: the corollary of
+// Sec. V-A, no condensation regardless of average wealth.
+type SymmetricDensity struct{}
+
+// Eval implements Density. The atom cannot be represented pointwise; Eval
+// returns 0 except at w=1 where it reports +inf, and the threshold logic
+// special-cases the type.
+func (SymmetricDensity) Eval(w float64) float64 {
+	if w == 1 {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+func (SymmetricDensity) thresholdExact() (float64, bool) { return math.Inf(1), false }
+
+// EmpiricalDensity is a histogram density estimated from an observed
+// normalized-utilization vector, the practical route from a live system to
+// Eq. (4). The atom that normalization forces at w = 1 (the maximal peer)
+// is spread across the top bin, which regularizes the integral; Bins
+// controls the resolution/bias trade-off.
+type EmpiricalDensity struct {
+	centers []float64
+	heights []float64
+	width   float64
+}
+
+// NewEmpiricalDensity builds a histogram density from utilizations in
+// (0, 1] using the given number of bins.
+func NewEmpiricalDensity(u []float64, bins int) (*EmpiricalDensity, error) {
+	if len(u) == 0 {
+		return nil, fmt.Errorf("%w: no utilizations", ErrBadDensity)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("%w: bins=%d", ErrBadDensity, bins)
+	}
+	for i, v := range u {
+		if v <= 0 || v > 1+1e-9 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: u[%d]=%v", ErrBadDensity, i, v)
+		}
+	}
+	width := 1.0 / float64(bins)
+	counts := make([]float64, bins)
+	for _, v := range u {
+		i := int(v / width)
+		if i >= bins {
+			i = bins - 1
+		}
+		counts[i]++
+	}
+	d := &EmpiricalDensity{
+		centers: make([]float64, bins),
+		heights: make([]float64, bins),
+		width:   width,
+	}
+	total := float64(len(u))
+	for i := range counts {
+		d.centers[i] = (float64(i) + 0.5) * width
+		d.heights[i] = counts[i] / (total * width)
+	}
+	return d, nil
+}
+
+// Eval implements Density.
+func (d *EmpiricalDensity) Eval(w float64) float64 {
+	if w < 0 || w > 1 {
+		return 0
+	}
+	i := int(w / d.width)
+	if i >= len(d.heights) {
+		i = len(d.heights) - 1
+	}
+	return d.heights[i]
+}
+
+func (d *EmpiricalDensity) thresholdExact() (float64, bool) {
+	// Piecewise-constant density: integrate w/(1-w) per bin analytically.
+	// ∫ w/(1-w) dw = -w - ln(1-w).
+	prim := func(w float64) float64 {
+		if w >= 1 {
+			return math.Inf(1)
+		}
+		return -w - math.Log(1-w)
+	}
+	var t float64
+	for i, h := range d.heights {
+		if h == 0 {
+			continue
+		}
+		lo := d.centers[i] - d.width/2
+		hi := d.centers[i] + d.width/2
+		if hi >= 1 {
+			// Top bin touches the singularity: the integral diverges iff
+			// the bin carries mass all the way to 1. A histogram spreads the
+			// atom at 1 uniformly, so the contribution diverges;
+			// regularize by stopping half a bin short, mirroring the bin
+			// center semantics.
+			hi = 1 - d.width/2
+			if hi <= lo {
+				return math.Inf(1), false
+			}
+		}
+		t += h * (prim(hi) - prim(lo))
+	}
+	return t, true
+}
+
+// ThresholdResult reports the Eq. (4) condensation threshold.
+type ThresholdResult struct {
+	// T is the threshold value; +inf when the integral diverges.
+	T float64
+	// Finite reports whether T is finite (condensation is possible for
+	// average wealth c > T; Theorems 2–3).
+	Finite bool
+	// Diagnostics holds the partial integrals I(z) at the probe points used
+	// by the numeric limit, for inspection.
+	Diagnostics []ThresholdProbe
+}
+
+// ThresholdProbe is one probe of the z -> 1^- limit in Eq. (4).
+type ThresholdProbe struct {
+	Z     float64
+	Value float64
+}
+
+// Threshold computes T = lim_{z->1^-} ∫₀¹ w f(w)/(1-zw) dw (Eq. 4). For
+// densities with a closed form (the parametric families above) the exact
+// value is returned along with the numeric probes; otherwise the limit is
+// estimated by probing z -> 1 and testing for divergence: if successive
+// probes keep growing geometrically the integral is declared divergent.
+func Threshold(f Density) ThresholdResult {
+	probes := make([]ThresholdProbe, 0, 8)
+	for k := 2; k <= 8; k++ {
+		z := 1 - math.Pow(10, -float64(k))
+		probes = append(probes, ThresholdProbe{Z: z, Value: ThresholdAt(f, z)})
+	}
+	if ex, ok := f.(exactThresholder); ok {
+		v, finite := ex.thresholdExact()
+		return ThresholdResult{T: v, Finite: finite, Diagnostics: probes}
+	}
+	// Divergence heuristic on the probe increments per decade of z: a
+	// convergent I(z) has increments shrinking geometrically; divergent
+	// integrals (even logarithmically divergent ones, where the ratio of
+	// values tends to 1) keep non-vanishing increments.
+	n := len(probes)
+	last, prev, prev2 := probes[n-1].Value, probes[n-2].Value, probes[n-3].Value
+	if math.IsInf(last, 1) || math.IsNaN(last) {
+		return ThresholdResult{T: math.Inf(1), Finite: false, Diagnostics: probes}
+	}
+	d1 := last - prev
+	d2 := prev - prev2
+	scale := math.Max(1, math.Abs(last))
+	if d1 <= 1e-9*scale {
+		return ThresholdResult{T: last, Finite: true, Diagnostics: probes}
+	}
+	if d2 > 0 && d1 > 0.3*d2 {
+		return ThresholdResult{T: math.Inf(1), Finite: false, Diagnostics: probes}
+	}
+	// Convergent: Aitken Δ² extrapolation of the geometric tail.
+	t := last
+	if d2 > d1 {
+		t = last + d1*d1/(d2-d1)
+	}
+	return ThresholdResult{T: t, Finite: true, Diagnostics: probes}
+}
+
+// ThresholdAt evaluates the inner integral of Eq. (4) at a fixed z < 1:
+// I(z) = ∫₀¹ w f(w)/(1-zw) dw, by adaptive Simpson quadrature.
+func ThresholdAt(f Density, z float64) float64 {
+	if _, ok := f.(SymmetricDensity); ok {
+		// Atom at w=1 contributes 1/(1-z) directly.
+		return 1 / (1 - z)
+	}
+	g := func(w float64) float64 {
+		return w * f.Eval(w) / (1 - z*w)
+	}
+	return adaptiveSimpson(g, 0, 1, 1e-10, 24)
+}
+
+// adaptiveSimpson integrates g on [a, b] with tolerance tol and maximum
+// recursion depth.
+func adaptiveSimpson(g func(float64) float64, a, b, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	fa, fb, fc := g(a), g(b), g(c)
+	s := (b - a) / 6 * (fa + 4*fc + fb)
+	return adaptiveSimpsonRec(g, a, b, fa, fb, fc, s, tol, depth)
+}
+
+func adaptiveSimpsonRec(g func(float64) float64, a, b, fa, fb, fc, s, tol float64, depth int) float64 {
+	c := (a + b) / 2
+	lm := (a + c) / 2
+	rm := (c + b) / 2
+	flm, frm := g(lm), g(rm)
+	left := (c - a) / 6 * (fa + 4*flm + fc)
+	right := (b - c) / 6 * (fc + 4*frm + fb)
+	if depth <= 0 || math.Abs(left+right-s) < 15*tol {
+		return left + right + (left+right-s)/15
+	}
+	return adaptiveSimpsonRec(g, a, c, fa, fc, flm, left, tol/2, depth-1) +
+		adaptiveSimpsonRec(g, c, b, fc, fb, frm, right, tol/2, depth-1)
+}
+
+// FitBetaLike fits a BetaLikeDensity to an observed utilization vector by
+// matching the mean: for f(w) = (alpha+1)(1-w)^alpha the mean is
+// 1/(alpha+2), so alpha = 1/mean - 2. It offers a parametric route to
+// Eq. (4) when the empirical histogram is too noisy. Means >= 1/2 map to
+// alpha <= 0 (threshold +inf).
+func FitBetaLike(u []float64) (BetaLikeDensity, error) {
+	if len(u) == 0 {
+		return BetaLikeDensity{}, fmt.Errorf("%w: no utilizations", ErrBadDensity)
+	}
+	var sum float64
+	for i, v := range u {
+		if v <= 0 || v > 1+1e-9 || math.IsNaN(v) {
+			return BetaLikeDensity{}, fmt.Errorf("%w: u[%d]=%v", ErrBadDensity, i, v)
+		}
+		sum += v
+	}
+	mean := sum / float64(len(u))
+	alpha := 1/mean - 2
+	if alpha <= -1 {
+		alpha = -1 + 1e-9
+	}
+	return BetaLikeDensity{Alpha: alpha}, nil
+}
+
+// CondensationPrediction is the Theorems 2–3 verdict for a market.
+type CondensationPrediction struct {
+	// AvgWealth is the per-peer average credit endowment c = M/N.
+	AvgWealth float64
+	// Threshold is the Eq. (4) result used for the verdict.
+	Threshold ThresholdResult
+	// Condenses reports whether c > T, i.e. wealth condensation is expected
+	// as the network grows (Theorem 3).
+	Condenses bool
+}
+
+// PredictCondensation applies Theorems 2–3: condensation occurs iff the
+// average peer wealth exceeds the threshold of the utilization density.
+func PredictCondensation(f Density, avgWealth float64) CondensationPrediction {
+	t := Threshold(f)
+	return CondensationPrediction{
+		AvgWealth: avgWealth,
+		Threshold: t,
+		Condenses: t.Finite && avgWealth > t.T,
+	}
+}
+
+// SortedUtilizations returns a copy of u sorted ascending — convenient for
+// building empirical densities and Lorenz-style inspection.
+func SortedUtilizations(u []float64) []float64 {
+	out := make([]float64, len(u))
+	copy(out, u)
+	sort.Float64s(out)
+	return out
+}

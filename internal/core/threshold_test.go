@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetaLikeDensityValidation(t *testing.T) {
+	if _, err := NewBetaLikeDensity(-1); !errors.Is(err, ErrBadDensity) {
+		t.Errorf("alpha=-1 error = %v", err)
+	}
+	if _, err := NewBetaLikeDensity(math.NaN()); !errors.Is(err, ErrBadDensity) {
+		t.Errorf("NaN alpha error = %v", err)
+	}
+	if _, err := NewBetaLikeDensity(2); err != nil {
+		t.Errorf("valid alpha rejected: %v", err)
+	}
+}
+
+func TestBetaLikeIntegratesToOne(t *testing.T) {
+	for _, alpha := range []float64{0.5, 1, 2, 5} {
+		d, err := NewBetaLikeDensity(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		integral := adaptiveSimpson(d.Eval, 0, 1, 1e-10, 24)
+		if math.Abs(integral-1) > 1e-6 {
+			t.Errorf("alpha=%v: integral = %v, want 1", alpha, integral)
+		}
+	}
+}
+
+func TestThresholdBetaLikeClosedForm(t *testing.T) {
+	// T = 1/alpha for alpha > 0.
+	tests := []struct {
+		alpha float64
+		want  float64
+	}{
+		{1, 1},
+		{2, 0.5},
+		{0.5, 2},
+		{4, 0.25},
+	}
+	for _, tc := range tests {
+		d, err := NewBetaLikeDensity(tc.alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Threshold(d)
+		if !res.Finite {
+			t.Errorf("alpha=%v: threshold infinite, want %v", tc.alpha, tc.want)
+			continue
+		}
+		if math.Abs(res.T-tc.want) > 1e-9 {
+			t.Errorf("alpha=%v: T = %v, want %v", tc.alpha, res.T, tc.want)
+		}
+	}
+}
+
+func TestThresholdBetaLikeNumericAgreesWithClosedForm(t *testing.T) {
+	// The z->1 probes must approach 1/alpha for a convergent case.
+	d, err := NewBetaLikeDensity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Threshold(d)
+	lastProbe := res.Diagnostics[len(res.Diagnostics)-1]
+	if math.Abs(lastProbe.Value-0.5) > 0.01 {
+		t.Errorf("numeric probe at z=%v gives %v, want ~0.5", lastProbe.Z, lastProbe.Value)
+	}
+}
+
+func TestThresholdDivergentCases(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Density
+	}{
+		{"uniform", UniformDensity{}},
+		{"symmetric-atom", SymmetricDensity{}},
+		{"beta-alpha-zero", BetaLikeDensity{Alpha: 0}},
+		{"beta-alpha-negative", BetaLikeDensity{Alpha: -0.5}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			res := Threshold(tc.d)
+			if res.Finite {
+				t.Errorf("threshold = %v finite, want divergent", res.T)
+			}
+			if !math.IsInf(res.T, 1) {
+				t.Errorf("T = %v, want +inf", res.T)
+			}
+		})
+	}
+}
+
+func TestThresholdAtSymmetricAtom(t *testing.T) {
+	// I(z) = 1/(1-z) for the atom at w=1.
+	got := ThresholdAt(SymmetricDensity{}, 0.99)
+	if math.Abs(got-100) > 1e-9 {
+		t.Errorf("I(0.99) = %v, want 100", got)
+	}
+}
+
+func TestThresholdProbesMonotone(t *testing.T) {
+	// I(z) is increasing in z for any density.
+	d, err := NewBetaLikeDensity(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Threshold(d)
+	for i := 1; i < len(res.Diagnostics); i++ {
+		if res.Diagnostics[i].Value < res.Diagnostics[i-1].Value-1e-9 {
+			t.Errorf("I(z) not monotone at probe %d: %+v", i, res.Diagnostics)
+		}
+	}
+}
+
+func TestThresholdNumericDivergenceDetection(t *testing.T) {
+	// A density without closed form that is positive at w=1 must be
+	// detected as divergent by the probe heuristic.
+	d := funcDensity(func(w float64) float64 { return 2 * w }) // f(1)=2>0
+	res := Threshold(d)
+	if res.Finite {
+		t.Errorf("f(w)=2w declared convergent (T=%v)", res.T)
+	}
+}
+
+func TestThresholdNumericConvergenceDetection(t *testing.T) {
+	// f(w) = 6w(1-w): vanishes linearly at 1 => T = ∫ 6w^2 dw = 2.
+	d := funcDensity(func(w float64) float64 { return 6 * w * (1 - w) })
+	res := Threshold(d)
+	if !res.Finite {
+		t.Fatal("f(w)=6w(1-w) declared divergent")
+	}
+	if math.Abs(res.T-2) > 0.05 {
+		t.Errorf("T = %v, want ~2", res.T)
+	}
+}
+
+// funcDensity adapts a plain function to Density without exposing a closed
+// form, exercising the numeric path.
+type funcDensity func(float64) float64
+
+func (f funcDensity) Eval(w float64) float64 { return f(w) }
+
+func TestEmpiricalDensityValidation(t *testing.T) {
+	if _, err := NewEmpiricalDensity(nil, 10); !errors.Is(err, ErrBadDensity) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := NewEmpiricalDensity([]float64{0.5}, 0); !errors.Is(err, ErrBadDensity) {
+		t.Errorf("zero bins error = %v", err)
+	}
+	if _, err := NewEmpiricalDensity([]float64{0}, 10); !errors.Is(err, ErrBadDensity) {
+		t.Errorf("zero utilization error = %v", err)
+	}
+	if _, err := NewEmpiricalDensity([]float64{1.5}, 10); !errors.Is(err, ErrBadDensity) {
+		t.Errorf("u>1 error = %v", err)
+	}
+}
+
+func TestEmpiricalDensityIntegratesToOne(t *testing.T) {
+	u := []float64{0.1, 0.2, 0.5, 0.9, 1, 1, 0.3}
+	d, err := NewEmpiricalDensity(u, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := adaptiveSimpson(d.Eval, 0, 1, 1e-10, 20)
+	if math.Abs(integral-1) > 1e-6 {
+		t.Errorf("integral = %v, want 1", integral)
+	}
+}
+
+func TestEmpiricalThresholdSkewedVsFlat(t *testing.T) {
+	// Utilizations bunched near zero (one hub at 1) give a small threshold:
+	// condensation already at low wealth. Utilizations near 1 give a large
+	// threshold.
+	skewed := make([]float64, 100)
+	for i := range skewed {
+		skewed[i] = 0.05
+	}
+	skewed[0] = 1
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 0.90 + 0.001*float64(i%10)
+	}
+	flat[0] = 1
+	dSkew, err := NewEmpiricalDensity(skewed, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dFlat, err := NewEmpiricalDensity(flat, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tSkew := Threshold(dSkew)
+	tFlat := Threshold(dFlat)
+	if !tSkew.Finite || !tFlat.Finite {
+		t.Fatalf("histogram thresholds should be finite: %+v %+v", tSkew, tFlat)
+	}
+	if tSkew.T >= tFlat.T {
+		t.Errorf("skewed threshold %v not below flat %v", tSkew.T, tFlat.T)
+	}
+}
+
+func TestFitBetaLike(t *testing.T) {
+	// Mean 0.25 => alpha = 2 => T = 0.5.
+	u := []float64{0.25, 0.25, 0.25, 0.25}
+	d, err := FitBetaLike(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Alpha-2) > 1e-12 {
+		t.Errorf("alpha = %v, want 2", d.Alpha)
+	}
+	// Mean >= 1/2 => alpha <= 0 => divergent threshold.
+	u2 := []float64{0.9, 0.9, 1}
+	d2, err := FitBetaLike(u2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Threshold(d2); res.Finite {
+		t.Errorf("high-mean fit should have infinite threshold, got %v", res.T)
+	}
+}
+
+func TestPredictCondensation(t *testing.T) {
+	d, err := NewBetaLikeDensity(2) // T = 0.5
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PredictCondensation(d, 0.4); p.Condenses {
+		t.Error("c=0.4 < T=0.5 predicted to condense")
+	}
+	if p := PredictCondensation(d, 0.6); !p.Condenses {
+		t.Error("c=0.6 > T=0.5 predicted safe")
+	}
+	// Symmetric never condenses (corollary).
+	if p := PredictCondensation(SymmetricDensity{}, 1e12); p.Condenses {
+		t.Error("symmetric case predicted to condense")
+	}
+}
+
+func TestThresholdScalesInverselyWithAlphaProperty(t *testing.T) {
+	// Property: across the parametric family, steeper vanishing (larger
+	// alpha, fewer high-utilization peers) lowers the condensation
+	// threshold.
+	f := func(seedA, seedB uint8) bool {
+		a := 0.2 + float64(seedA%40)/10
+		b := a + 0.1 + float64(seedB%40)/10
+		da, err := NewBetaLikeDensity(a)
+		if err != nil {
+			return false
+		}
+		db, err := NewBetaLikeDensity(b)
+		if err != nil {
+			return false
+		}
+		ta, tb := Threshold(da), Threshold(db)
+		return ta.Finite && tb.Finite && ta.T > tb.T
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortedUtilizations(t *testing.T) {
+	in := []float64{0.5, 0.1, 1}
+	out := SortedUtilizations(in)
+	if out[0] != 0.1 || out[2] != 1 {
+		t.Errorf("sorted = %v", out)
+	}
+	if in[0] != 0.5 {
+		t.Error("input mutated")
+	}
+}

@@ -1,0 +1,192 @@
+// Package credit implements the virtual-currency machinery of a
+// credit-based P2P system (Sec. III): per-peer credit pools with conserving
+// transfers, the pricing schemes the paper studies (uniform, per-chunk
+// Poisson, linear), the taxation counter-measure of Sec. VI-C, and the
+// dynamic spending-rate policy of Sec. VI-D.
+//
+// The package assumes a trustworthy currency implementation exists (KARMA,
+// PPay, lightweight currencies — Sec. II); like the paper, it models the
+// economics, not the cryptography.
+package credit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInsufficient is returned when a peer cannot cover a payment — the
+// "bankruptcy" state that stalls downloads in a condensed market.
+var ErrInsufficient = errors.New("credit: insufficient balance")
+
+// ErrNoAccount is returned for operations on unknown peers.
+var ErrNoAccount = errors.New("credit: no such account")
+
+// ErrBadAmount is returned for negative transfer amounts.
+var ErrBadAmount = errors.New("credit: invalid amount")
+
+// Ledger tracks integer credit balances for a set of peers. Transfers
+// conserve the total supply; Mint and Burn (peer join/departure under
+// churn) are the only operations that change it. Ledger is not safe for
+// concurrent use: simulations are single-threaded by design.
+type Ledger struct {
+	balances map[int]int64
+	total    int64
+	minted   int64
+	burned   int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{balances: make(map[int]int64)}
+}
+
+// Open creates an account with the given initial balance (minting it).
+func (l *Ledger) Open(peer int, initial int64) error {
+	if initial < 0 {
+		return fmt.Errorf("%w: initial %d", ErrBadAmount, initial)
+	}
+	if _, ok := l.balances[peer]; ok {
+		return fmt.Errorf("credit: account %d already open", peer)
+	}
+	l.balances[peer] = initial
+	l.total += initial
+	l.minted += initial
+	return nil
+}
+
+// Close removes an account and burns whatever it held (a departing peer
+// takes its credits out of the economy, Sec. VI-E). It returns the burned
+// amount.
+func (l *Ledger) Close(peer int) (int64, error) {
+	b, ok := l.balances[peer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoAccount, peer)
+	}
+	delete(l.balances, peer)
+	l.total -= b
+	l.burned += b
+	return b, nil
+}
+
+// Balance returns a peer's balance.
+func (l *Ledger) Balance(peer int) (int64, error) {
+	b, ok := l.balances[peer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoAccount, peer)
+	}
+	return b, nil
+}
+
+// Has reports whether the account exists.
+func (l *Ledger) Has(peer int) bool {
+	_, ok := l.balances[peer]
+	return ok
+}
+
+// Transfer moves amount credits from payer to payee. It fails with
+// ErrInsufficient when the payer cannot cover it; zero-amount transfers are
+// legal no-ops (free chunks under Poisson pricing).
+func (l *Ledger) Transfer(payer, payee int, amount int64) error {
+	if amount < 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
+	}
+	pb, ok := l.balances[payer]
+	if !ok {
+		return fmt.Errorf("%w: payer %d", ErrNoAccount, payer)
+	}
+	if _, ok := l.balances[payee]; !ok {
+		return fmt.Errorf("%w: payee %d", ErrNoAccount, payee)
+	}
+	if pb < amount {
+		return fmt.Errorf("%w: peer %d has %d, needs %d", ErrInsufficient, payer, pb, amount)
+	}
+	l.balances[payer] = pb - amount
+	l.balances[payee] += amount
+	return nil
+}
+
+// Deposit mints amount credits into a peer's account (credit injection).
+func (l *Ledger) Deposit(peer int, amount int64) error {
+	if amount < 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
+	}
+	if _, ok := l.balances[peer]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoAccount, peer)
+	}
+	l.balances[peer] += amount
+	l.total += amount
+	l.minted += amount
+	return nil
+}
+
+// Withdraw burns amount credits from a peer's account.
+func (l *Ledger) Withdraw(peer int, amount int64) error {
+	if amount < 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
+	}
+	b, ok := l.balances[peer]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoAccount, peer)
+	}
+	if b < amount {
+		return fmt.Errorf("%w: peer %d has %d, withdrawing %d", ErrInsufficient, peer, b, amount)
+	}
+	l.balances[peer] = b - amount
+	l.total -= amount
+	l.burned += amount
+	return nil
+}
+
+// Total returns the current credit supply.
+func (l *Ledger) Total() int64 { return l.total }
+
+// Minted returns the cumulative credits ever created.
+func (l *Ledger) Minted() int64 { return l.minted }
+
+// Burned returns the cumulative credits ever destroyed.
+func (l *Ledger) Burned() int64 { return l.burned }
+
+// NumAccounts returns the number of open accounts.
+func (l *Ledger) NumAccounts() int { return len(l.balances) }
+
+// Balances returns a copy of all balances keyed by peer id.
+func (l *Ledger) Balances() map[int]int64 {
+	out := make(map[int]int64, len(l.balances))
+	for k, v := range l.balances {
+		out[k] = v
+	}
+	return out
+}
+
+// BalanceVector returns balances for the given peers in order.
+func (l *Ledger) BalanceVector(peers []int) ([]int64, error) {
+	out := make([]int64, len(peers))
+	for i, p := range peers {
+		b, ok := l.balances[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %d", ErrNoAccount, p)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// CheckConservation verifies the supply invariant: the sum of balances
+// equals minted - burned. It returns an error describing any mismatch; the
+// simulators assert it after every run.
+func (l *Ledger) CheckConservation() error {
+	var sum int64
+	for _, b := range l.balances {
+		if b < 0 {
+			return fmt.Errorf("credit: negative balance %d", b)
+		}
+		sum += b
+	}
+	if sum != l.total {
+		return fmt.Errorf("credit: balances sum %d != tracked total %d", sum, l.total)
+	}
+	if l.total != l.minted-l.burned {
+		return fmt.Errorf("credit: total %d != minted %d - burned %d", l.total, l.minted, l.burned)
+	}
+	return nil
+}

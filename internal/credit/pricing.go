@@ -1,0 +1,114 @@
+package credit
+
+import (
+	"fmt"
+
+	"creditp2p/internal/xrand"
+)
+
+// Pricing determines how many credits a seller charges for one chunk —
+// the pricing schemes whose effect on condensation Sec. V-C analyzes.
+type Pricing interface {
+	// Price returns the charge for chunk (by id) sold by seller. Prices are
+	// non-negative; zero means a free chunk.
+	Price(seller, chunk int) int64
+}
+
+// UniformPricing charges a flat price per chunk regardless of seller or
+// chunk — the paper's default (1 credit/chunk), which together with
+// streaming demand yields symmetric utilization (Sec. V-C1).
+type UniformPricing struct {
+	Credits int64
+}
+
+// Price implements Pricing.
+func (u UniformPricing) Price(_, _ int) int64 { return u.Credits }
+
+var _ Pricing = UniformPricing{}
+
+// PoissonPricing charges per-chunk prices drawn once per chunk id from a
+// Poisson distribution — the Fig. 1 condensed configuration ("different
+// credits for different chunks, following a Poisson distribution with an
+// average of 1 credit per chunk"). Prices are memoized so every seller
+// quotes the same price for the same chunk.
+type PoissonPricing struct {
+	mean   float64
+	rng    *xrand.RNG
+	memo   map[int]int64
+	minVal int64
+}
+
+// NewPoissonPricing builds the scheme. min clamps the sampled price from
+// below (0 permits free chunks, matching a plain Poisson with the given
+// mean).
+func NewPoissonPricing(mean float64, min int64, rng *xrand.RNG) (*PoissonPricing, error) {
+	if mean < 0 {
+		return nil, fmt.Errorf("%w: mean %v", ErrBadAmount, mean)
+	}
+	if min < 0 {
+		return nil, fmt.Errorf("%w: min %d", ErrBadAmount, min)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("credit: nil rng")
+	}
+	return &PoissonPricing{mean: mean, rng: rng, memo: make(map[int]int64), minVal: min}, nil
+}
+
+// Price implements Pricing.
+func (p *PoissonPricing) Price(_, chunk int) int64 {
+	if v, ok := p.memo[chunk]; ok {
+		return v
+	}
+	v := int64(p.rng.Poisson(p.mean))
+	if v < p.minVal {
+		v = p.minVal
+	}
+	p.memo[chunk] = v
+	return v
+}
+
+var _ Pricing = (*PoissonPricing)(nil)
+
+// PerPeerPricing lets every seller set its own flat price (the
+// "single price per peer" scheme of the pricing literature the paper
+// cites). Sellers without an entry use Default.
+type PerPeerPricing struct {
+	Prices  map[int]int64
+	Default int64
+}
+
+// Price implements Pricing.
+func (p PerPeerPricing) Price(seller, _ int) int64 {
+	if v, ok := p.Prices[seller]; ok {
+		return v
+	}
+	return p.Default
+}
+
+var _ Pricing = PerPeerPricing{}
+
+// LinearPricing charges base + slope*k where k is the seller's count of
+// chunks already sold through this scheme — a simple increasing marginal
+// price (the linear pricing family of Golle et al. that the paper cites).
+type LinearPricing struct {
+	Base  int64
+	Slope int64
+	sold  map[int]int64
+}
+
+// NewLinearPricing builds the scheme.
+func NewLinearPricing(base, slope int64) (*LinearPricing, error) {
+	if base < 0 || slope < 0 {
+		return nil, fmt.Errorf("%w: base %d slope %d", ErrBadAmount, base, slope)
+	}
+	return &LinearPricing{Base: base, Slope: slope, sold: make(map[int]int64)}, nil
+}
+
+// Price implements Pricing and advances the seller's counter.
+func (p *LinearPricing) Price(seller, _ int) int64 {
+	v := p.Base + p.Slope*p.sold[seller]
+	p.sold[seller]++
+	return v
+}
+
+var _ Pricing = (*LinearPricing)(nil)

@@ -1,0 +1,100 @@
+package credit
+
+import (
+	"math"
+	"testing"
+
+	"creditp2p/internal/xrand"
+)
+
+func TestUniformPricing(t *testing.T) {
+	p := UniformPricing{Credits: 3}
+	for chunk := 0; chunk < 10; chunk++ {
+		if got := p.Price(chunk%4, chunk); got != 3 {
+			t.Fatalf("price = %d, want 3", got)
+		}
+	}
+}
+
+func TestPoissonPricingMemoization(t *testing.T) {
+	p, err := NewPoissonPricing(1, 0, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same chunk has the same price for every seller, every time.
+	first := p.Price(0, 42)
+	for seller := 0; seller < 5; seller++ {
+		if got := p.Price(seller, 42); got != first {
+			t.Fatalf("chunk 42 price changed: %d then %d", first, got)
+		}
+	}
+}
+
+func TestPoissonPricingMean(t *testing.T) {
+	p, err := NewPoissonPricing(1, 0, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	const n = 50000
+	for chunk := 0; chunk < n; chunk++ {
+		sum += float64(p.Price(0, chunk))
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Errorf("mean price = %v, want ~1 (Fig. 1 configuration)", mean)
+	}
+}
+
+func TestPoissonPricingMinClamp(t *testing.T) {
+	p, err := NewPoissonPricing(1, 1, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for chunk := 0; chunk < 1000; chunk++ {
+		if got := p.Price(0, chunk); got < 1 {
+			t.Fatalf("price %d below clamp", got)
+		}
+	}
+}
+
+func TestPoissonPricingValidation(t *testing.T) {
+	if _, err := NewPoissonPricing(-1, 0, xrand.New(1)); err == nil {
+		t.Error("negative mean accepted")
+	}
+	if _, err := NewPoissonPricing(1, -1, xrand.New(1)); err == nil {
+		t.Error("negative min accepted")
+	}
+	if _, err := NewPoissonPricing(1, 0, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestPerPeerPricing(t *testing.T) {
+	p := PerPeerPricing{Prices: map[int]int64{7: 5}, Default: 2}
+	if got := p.Price(7, 0); got != 5 {
+		t.Errorf("price(7) = %d, want 5", got)
+	}
+	if got := p.Price(8, 0); got != 2 {
+		t.Errorf("price(8) = %d, want default 2", got)
+	}
+}
+
+func TestLinearPricing(t *testing.T) {
+	p, err := NewLinearPricing(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seller 0: 1, 3, 5, ... Seller 1 has its own counter.
+	if got := p.Price(0, 0); got != 1 {
+		t.Errorf("first = %d, want 1", got)
+	}
+	if got := p.Price(0, 1); got != 3 {
+		t.Errorf("second = %d, want 3", got)
+	}
+	if got := p.Price(1, 2); got != 1 {
+		t.Errorf("other seller = %d, want 1", got)
+	}
+	if _, err := NewLinearPricing(-1, 0); err == nil {
+		t.Error("negative base accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Package des is a minimal discrete-event simulation kernel: a time-ordered
+// event queue with deterministic tie-breaking and a scheduler that advances
+// virtual time. Both the credit-market simulator (queue-granularity Jackson
+// dynamics) and the churn machinery are built on it.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrPastTime is returned when an event is scheduled before the current
+// simulation time.
+var ErrPastTime = errors.New("des: event scheduled in the past")
+
+// Handler is an event callback. It runs at the event's firing time and may
+// schedule further events.
+type Handler func()
+
+type event struct {
+	time    float64
+	seq     uint64 // FIFO tie-break for simultaneous events
+	handler Handler
+	index   int
+	dead    bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Event is a handle to a scheduled event; it can be cancelled.
+type Event struct {
+	e *event
+}
+
+// Cancel marks the event so its handler will not run. Cancelling an already
+// fired or cancelled event is a no-op. Cancellation is O(1); dead events are
+// discarded lazily when they surface in the queue.
+func (ev Event) Cancel() {
+	if ev.e != nil {
+		ev.e.dead = true
+		ev.e.handler = nil
+	}
+}
+
+// Cancelled reports whether the event was cancelled (or already collected).
+func (ev Event) Cancelled() bool { return ev.e == nil || ev.e.dead }
+
+// Scheduler owns virtual time and the pending event set. It is not safe for
+// concurrent use; a simulation is a single-goroutine loop.
+type Scheduler struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	dropped uint64
+}
+
+// NewScheduler returns a scheduler at time 0 with no pending events.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// Fired returns the number of events whose handlers have run.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending returns the number of scheduled (possibly cancelled) events.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// ScheduleAt registers handler to run at absolute time t.
+func (s *Scheduler) ScheduleAt(t float64, handler Handler) (Event, error) {
+	if t < s.now {
+		return Event{}, fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, s.now)
+	}
+	if handler == nil {
+		return Event{}, errors.New("des: nil handler")
+	}
+	e := &event{time: t, seq: s.seq, handler: handler}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return Event{e: e}, nil
+}
+
+// Schedule registers handler to run after the given non-negative delay.
+func (s *Scheduler) Schedule(delay float64, handler Handler) (Event, error) {
+	return s.ScheduleAt(s.now+delay, handler)
+}
+
+// Step fires the earliest pending event. It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.dead {
+			s.dropped++
+			continue
+		}
+		s.now = e.time
+		h := e.handler
+		e.handler = nil
+		e.dead = true
+		h()
+		s.fired++
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events in time order until the queue is empty or the next
+// event is after horizon. Time is left at the later of the last fired event
+// and horizon. It returns the number of events fired.
+func (s *Scheduler) RunUntil(horizon float64) uint64 {
+	var fired uint64
+	for len(s.queue) > 0 {
+		// Peek; lazily drop cancelled heads.
+		head := s.queue[0]
+		if head.dead {
+			heap.Pop(&s.queue)
+			s.dropped++
+			continue
+		}
+		if head.time > horizon {
+			break
+		}
+		s.Step()
+		fired++
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return fired
+}
+
+// Drain fires all pending events regardless of time. Intended for tests.
+func (s *Scheduler) Drain() uint64 {
+	var fired uint64
+	for s.Step() {
+		fired++
+	}
+	return fired
+}

@@ -1,0 +1,240 @@
+package des
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"creditp2p/internal/xrand"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := NewScheduler()
+	var order []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, at := range times {
+		at := at
+		if _, err := s.ScheduleAt(at, func() { order = append(order, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(10)
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+	if len(order) != len(times) {
+		t.Errorf("fired %d events, want %d", len(order), len(times))
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.ScheduleAt(1, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := NewScheduler()
+	fired := 0
+	for _, at := range []float64{1, 2, 3, 7, 9} {
+		if _, err := s.ScheduleAt(at, func() { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := s.RunUntil(5)
+	if n != 3 || fired != 3 {
+		t.Errorf("fired %d/%d events before horizon, want 3", n, fired)
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now() = %v, want horizon 5", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", s.Pending())
+	}
+	// Resume to the end.
+	n = s.RunUntil(10)
+	if n != 2 || fired != 5 {
+		t.Errorf("resume fired %d (total %d), want 2 (5)", n, fired)
+	}
+}
+
+func TestScheduleRelative(t *testing.T) {
+	s := NewScheduler()
+	var at float64
+	if _, err := s.ScheduleAt(4, func() {
+		if _, err := s.Schedule(2.5, func() { at = s.Now() }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(100)
+	if at != 6.5 {
+		t.Errorf("nested relative event fired at %v, want 6.5", at)
+	}
+}
+
+func TestSchedulePastReturnsError(t *testing.T) {
+	s := NewScheduler()
+	if _, err := s.ScheduleAt(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(5)
+	if _, err := s.ScheduleAt(4, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Errorf("error = %v, want ErrPastTime", err)
+	}
+}
+
+func TestNilHandlerRejected(t *testing.T) {
+	s := NewScheduler()
+	if _, err := s.ScheduleAt(1, nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	ev, err := s.ScheduleAt(1, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	s.RunUntil(10)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Double cancel is a no-op.
+	ev.Cancel()
+}
+
+func TestCancelInterleaved(t *testing.T) {
+	s := NewScheduler()
+	var fired []int
+	events := make([]Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		ev, err := s.ScheduleAt(float64(i), func() { fired = append(fired, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		events[i] = ev
+	}
+	for i := 0; i < 10; i += 2 {
+		events[i].Cancel()
+	}
+	s.RunUntil(100)
+	want := []int{1, 3, 5, 7, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestHandlerSchedulingAtCurrentTime(t *testing.T) {
+	// An event may schedule another at the same timestamp; it must fire in
+	// the same run, after the current handler (FIFO among equal times).
+	s := NewScheduler()
+	var order []string
+	if _, err := s.ScheduleAt(1, func() {
+		order = append(order, "a")
+		if _, err := s.Schedule(0, func() { order = append(order, "b") }); err != nil {
+			t.Error(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(1)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v, want [a b]", order)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	for i := 0; i < 5; i++ {
+		if _, err := s.ScheduleAt(float64(i*1000), func() { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := s.Drain(); n != 5 || count != 5 {
+		t.Errorf("Drain fired %d (count %d), want 5", n, count)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain", s.Pending())
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 3; i++ {
+		if _, err := s.ScheduleAt(float64(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(10)
+	if s.Fired() != 3 {
+		t.Errorf("Fired() = %d, want 3", s.Fired())
+	}
+}
+
+func TestHeapOrderingProperty(t *testing.T) {
+	// Property: random schedules always fire in non-decreasing time order
+	// and exactly once each.
+	f := func(seed int64, nSeed uint8) bool {
+		n := int(nSeed%50) + 1
+		r := xrand.New(seed)
+		s := NewScheduler()
+		var times []float64
+		for i := 0; i < n; i++ {
+			at := math.Floor(r.Float64()*100) / 10 // coarse grid forces ties
+			if _, err := s.ScheduleAt(at, func() { times = append(times, s.Now()) }); err != nil {
+				return false
+			}
+		}
+		s.RunUntil(1000)
+		if len(times) != n {
+			return false
+		}
+		return sort.Float64sAreSorted(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := NewScheduler()
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(r.Float64(), func() {}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			s.Drain()
+		}
+	}
+	s.Drain()
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"creditp2p/internal/core"
+	"creditp2p/internal/queueing"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/trace"
+	"creditp2p/internal/xrand"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Lorenz curves of the Eq. (8) wealth marginal",
+		Paper: "Fig. 2: Lorenz curves of Binomial(M, 1/N) for (M=2000,N=100), (M=25000,N=50), (M=50000,N=50).",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Content-exchange efficiency vs average wealth",
+		Paper: "Fig. 4: 1 - Q{B_i=0} ≈ 1 - e^{-c} rises with c (Eq. 9); starving the market of credits throttles downloads.",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "exact-vs-approx",
+		Title: "Ablation: exact product-form marginal vs paper's Eq. (8)",
+		Paper: "The multinomial approximation (Eq. 5-8) treats credits as distinguishable; the exact Gordon-Newell marginal is skewer.",
+		Run:   runExactVsApprox,
+	})
+	register(Experiment{
+		ID:    "threshold",
+		Title: "Ablation: condensation threshold T (Eq. 4) across utilization densities",
+		Paper: "Theorems 2-3: condensation iff c > T; T = 1/alpha for f(w)=(alpha+1)(1-w)^alpha, infinite for the symmetric case.",
+		Run:   runThreshold,
+	})
+}
+
+func runFig2(p Preset, w io.Writer) error {
+	cases := []struct {
+		m, n int
+	}{
+		{2000, 100},
+		{25000, 50},
+		{50000, 50},
+	}
+	if p == Quick {
+		cases = []struct{ m, n int }{{2000, 100}, {5000, 50}, {10000, 50}}
+	}
+	tab := trace.Table{Header: []string{"case", "c=M/N", "gini", "bottom50%share", "bottom90%share"}}
+	var set trace.Set
+	for _, tc := range cases {
+		pmf, err := core.ApproxMarginalSymmetric(tc.n, tc.m)
+		if err != nil {
+			return err
+		}
+		curve, err := stats.LorenzFromPMF(pmf)
+		if err != nil {
+			return err
+		}
+		gini, err := stats.GiniFromPMF(pmf)
+		if err != nil {
+			return err
+		}
+		tab.AddFloats(fmt.Sprintf("M=%d,N=%d", tc.m, tc.n),
+			float64(tc.m)/float64(tc.n), gini, lorenzAt(curve, 0.5), lorenzAt(curve, 0.9))
+		s := trace.NewSeries(fmt.Sprintf("M=%d,N=%d", tc.m, tc.n))
+		for _, pt := range curve {
+			s.Add(pt.PopShare, pt.WealthShare)
+		}
+		set.Add(s)
+	}
+	if err := tab.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nLorenz curves (x: population share, y: wealth share):")
+	return trace.Chart{Width: 64, Height: 16, YMax: 1}.Render(w, &set)
+}
+
+func lorenzAt(curve []stats.LorenzPoint, pop float64) float64 {
+	for _, pt := range curve {
+		if pt.PopShare >= pop {
+			return pt.WealthShare
+		}
+	}
+	return 1
+}
+
+func runFig4(p Preset, w io.Writer) error {
+	n := 1000
+	if p == Quick {
+		n = 100
+	}
+	tab := trace.Table{Header: []string{"c", "1-Q{B=0} exact(Eq.8)", "1-e^-c (Eq.9)", "exact product form"}}
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	closed, err := queueing.NewClosed(u)
+	if err != nil {
+		return err
+	}
+	for _, c := range []float64{0.25, 0.5, 1, 2, 3, 5, 8, 10} {
+		m := int(c * float64(n))
+		eff, err := core.ExchangeEfficiency(n, m)
+		if err != nil {
+			return err
+		}
+		p0, err := closed.ProbEmpty(0, m)
+		if err != nil {
+			return err
+		}
+		tab.AddFloats(trace.FormatFloat(c), eff.Exact, eff.Approx, 1-p0)
+	}
+	return tab.Write(w)
+}
+
+func runExactVsApprox(p Preset, w io.Writer) error {
+	n, m := 20, 200
+	if p == Full {
+		n, m = 50, 1000
+	}
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = 1
+	}
+	closed, err := queueing.NewClosed(u)
+	if err != nil {
+		return err
+	}
+	exact, err := closed.Marginal(0, m)
+	if err != nil {
+		return err
+	}
+	approx, err := core.ApproxMarginalSymmetric(n, m)
+	if err != nil {
+		return err
+	}
+	giniExact, err := stats.GiniFromPMF(exact)
+	if err != nil {
+		return err
+	}
+	giniApprox, err := stats.GiniFromPMF(approx)
+	if err != nil {
+		return err
+	}
+	tab := trace.Table{Header: []string{"marginal", "mean", "variance", "P(B=0)", "gini"}}
+	tab.AddFloats("exact (Buzen)", exact.Mean(), exact.Variance(), exact.AtZero(), giniExact)
+	tab.AddFloats("approx (Eq. 8)", approx.Mean(), approx.Variance(), approx.AtZero(), giniApprox)
+	if err := tab.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nN=%d, M=%d: the exact marginal's variance is %.1fx the approximation's;\n"+
+		"the paper's Eq. (8) understates finite-network skew.\n",
+		n, m, exact.Variance()/approx.Variance())
+	return nil
+}
+
+func runThreshold(p Preset, w io.Writer) error {
+	tab := trace.Table{Header: []string{"density", "T (Eq. 4)", "c=0.3", "c=1", "c=3", "c=10"}}
+	densities := []struct {
+		name string
+		d    core.Density
+	}{
+		{"symmetric (atom at 1)", core.SymmetricDensity{}},
+		{"uniform on [0,1]", core.UniformDensity{}},
+		{"beta-like alpha=0.5", core.BetaLikeDensity{Alpha: 0.5}},
+		{"beta-like alpha=1", core.BetaLikeDensity{Alpha: 1}},
+		{"beta-like alpha=2", core.BetaLikeDensity{Alpha: 2}},
+		{"beta-like alpha=4", core.BetaLikeDensity{Alpha: 4}},
+	}
+	for _, d := range densities {
+		res := core.Threshold(d.d)
+		cells := make([]string, 0, 5)
+		tStr := "inf (never condenses)"
+		if res.Finite {
+			tStr = trace.FormatFloat(res.T)
+		}
+		cells = append(cells, tStr)
+		for _, c := range []float64{0.3, 1, 3, 10} {
+			verdict := "safe"
+			if core.PredictCondensation(d.d, c).Condenses {
+				verdict = "CONDENSES"
+			}
+			cells = append(cells, verdict)
+		}
+		tab.AddRow(append([]string{d.name}, cells...)...)
+	}
+	if err := tab.Write(w); err != nil {
+		return err
+	}
+
+	// Verify the verdicts against exact finite-network equilibria: the
+	// top-1% wealth share at a c above vs below T for alpha=2 (T=0.5).
+	n, draws := 200, 100
+	if p == Quick {
+		n, draws = 100, 40
+	}
+	r := xrand.New(404)
+	fmt.Fprintf(w, "\nFinite-network check (alpha=2, T=0.5, N=%d): top-1%% wealth share\n", n)
+	check := trace.Table{Header: []string{"c", "top-1% share", "verdict"}}
+	for _, c := range []float64{0.25, 0.5, 2, 8} {
+		top, err := topShareBetaLike(n, c, 2, draws, r)
+		if err != nil {
+			return err
+		}
+		verdict := "safe"
+		if c > 0.5 {
+			verdict = "condenses"
+		}
+		check.AddRow(trace.FormatFloat(c), trace.FormatFloat(top), verdict)
+	}
+	return check.Write(w)
+}
+
+// topShareBetaLike samples the exact equilibrium of a closed network whose
+// utilizations follow the beta-like density and returns the expected wealth
+// share of the top 1% of peers.
+func topShareBetaLike(n int, c, alpha float64, draws int, r *xrand.RNG) (float64, error) {
+	u := make([]float64, n)
+	maxIdx := 0
+	for i := range u {
+		u[i] = 1 - math.Pow(1-r.Float64(), 1/(alpha+1))
+		if u[i] < 1e-3 {
+			u[i] = 1e-3
+		}
+		if u[i] > u[maxIdx] {
+			maxIdx = i
+		}
+	}
+	u[maxIdx] = 1
+	closed, err := queueing.NewClosed(u)
+	if err != nil {
+		return 0, err
+	}
+	m := int(c * float64(n))
+	sampler, err := closed.NewSampler(m)
+	if err != nil {
+		return 0, err
+	}
+	topCount := n / 100
+	if topCount < 1 {
+		topCount = 1
+	}
+	var sum float64
+	for d := 0; d < draws; d++ {
+		state := sampler.Sample(r)
+		sorted := make([]int, len(state))
+		copy(sorted, state)
+		sort.Ints(sorted)
+		var top, total int
+		for _, b := range sorted {
+			total += b
+		}
+		for i := len(sorted) - topCount; i < len(sorted); i++ {
+			top += sorted[i]
+		}
+		if total > 0 {
+			sum += float64(top) / float64(total)
+		}
+	}
+	return sum / float64(draws), nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11",
+		"exact-vs-approx", "threshold", "pricing", "inflation",
+	}
+	all := All()
+	if len(all) != len(want) {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registry has %d experiments %v, want %d", len(all), ids, len(want))
+	}
+	for _, id := range want {
+		e, err := ByID(id)
+		if err != nil {
+			t.Errorf("ByID(%q): %v", id, err)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", id)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("error = %v, want ErrUnknown", err)
+	}
+}
+
+func TestAllOrdering(t *testing.T) {
+	all := All()
+	// figs come first, numerically.
+	if all[0].ID != "fig1" || all[1].ID != "fig2" {
+		t.Errorf("ordering starts %s, %s; want fig1, fig2", all[0].ID, all[1].ID)
+	}
+	if all[9].ID != "fig10" || all[10].ID != "fig11" {
+		t.Errorf("fig10/fig11 misordered: %s, %s", all[9].ID, all[10].ID)
+	}
+}
+
+// TestEveryExperimentRunsQuick executes the full registry at the Quick
+// preset: every figure must regenerate without error and produce output.
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick preset still simulates; skipped with -short")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(Quick, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if buf.Len() == 0 {
+				t.Fatal("no output produced")
+			}
+		})
+	}
+}
+
+func TestFig1ShowsCondensationContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed; skipped with -short")
+	}
+	e, err := ByID("fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "healthy") || !strings.Contains(out, "condensed") {
+		t.Errorf("fig1 output missing cases:\n%s", out)
+	}
+}
+
+func TestThresholdTableContainsVerdicts(t *testing.T) {
+	e, err := ByID("threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "CONDENSES") || !strings.Contains(out, "safe") {
+		t.Errorf("threshold output missing verdicts:\n%s", out)
+	}
+	if !strings.Contains(out, "inf") {
+		t.Errorf("symmetric case should report infinite threshold:\n%s", out)
+	}
+}

@@ -1,0 +1,169 @@
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"creditp2p/internal/matrix"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/xrand"
+)
+
+// UniformMuMap assigns every node in g the same base spending rate — the
+// symmetric-utilization configuration when combined with a regular overlay
+// and uniform routing.
+func UniformMuMap(g *topology.Graph, mu float64) map[int]float64 {
+	out := make(map[int]float64, g.NumNodes())
+	for _, id := range g.Nodes() {
+		out[id] = mu
+	}
+	return out
+}
+
+// LogNormalMuMap assigns heterogeneous base spending rates
+// mu_i = base * LogNormal(0, sigma) — the asymmetric-utilization
+// configuration (peers differ in how fast they are willing/able to spend,
+// e.g. heterogeneous demand or bandwidth).
+func LogNormalMuMap(g *topology.Graph, base, sigma float64, r *xrand.RNG) map[int]float64 {
+	out := make(map[int]float64, g.NumNodes())
+	for _, id := range g.Nodes() {
+		out[id] = base * r.LogNormal(0, sigma)
+	}
+	return out
+}
+
+// TwoClassMuMap splits peers into a slow and a fast class: a fraction
+// fastShare of peers spend at fastMu, the rest at slowMu. It is a stark
+// asymmetric configuration with a bimodal utilization density.
+func TwoClassMuMap(g *topology.Graph, slowMu, fastMu, fastShare float64, r *xrand.RNG) map[int]float64 {
+	out := make(map[int]float64, g.NumNodes())
+	for _, id := range g.Nodes() {
+		if r.Bernoulli(fastShare) {
+			out[id] = fastMu
+		} else {
+			out[id] = slowMu
+		}
+	}
+	return out
+}
+
+// MuForUtilization computes base spending rates that realize a target
+// normalized-utilization vector on the given overlay — the way the paper
+// "configures the credit earning and spending rates" into symmetric or
+// asymmetric utilization (Sec. VI). It solves the equilibrium income vector
+// lambda implied by the topology and routing policy (Lemma 1) and sets
+// mu_i = lambda_i/(s*u_i), so that lambda_i/mu_i is proportional to u_i.
+//
+// The scale s pins the maximum-utilization peer's rate to exactly richMu;
+// peers with lower utilization spend proportionally faster. Pinning the
+// slowest (condensation-prone) peer keeps every balance's drain/fill
+// timescale within max(u)/min(u) of each other, so finite-horizon
+// simulations actually reach the regimes the theory describes. Use regular
+// overlays (uniform lambda) when the utilization vector should be the only
+// source of asymmetry.
+func MuForUtilization(g *topology.Graph, routing Routing, targetU map[int]float64, richMu float64) (map[int]float64, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("%w: empty topology", ErrBadConfig)
+	}
+	if richMu <= 0 {
+		return nil, fmt.Errorf("%w: rich mu %v", ErrBadConfig, richMu)
+	}
+	ids := g.Nodes()
+	n := len(ids)
+	index := make(map[int]int, n)
+	for k, id := range ids {
+		index[id] = k
+	}
+	p := matrix.NewDense(n, n)
+	for k, id := range ids {
+		nbrs := g.Neighbors(id)
+		if len(nbrs) == 0 {
+			p.Set(k, k, 1)
+			continue
+		}
+		var total float64
+		weights := make([]float64, len(nbrs))
+		for j, nb := range nbrs {
+			if routing == RouteDegreeWeighted {
+				weights[j] = float64(g.Degree(nb))
+			} else {
+				weights[j] = 1
+			}
+			total += weights[j]
+		}
+		for j, nb := range nbrs {
+			p.Set(k, index[nb], weights[j]/total)
+		}
+	}
+	lambda, err := matrix.StationaryVector(p, matrix.StationaryOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("market: equilibrium income: %w", err)
+	}
+	raw := make([]float64, n)
+	richRaw, maxU := 0.0, 0.0
+	for k, id := range ids {
+		u, ok := targetU[id]
+		if !ok || u <= 0 || u > 1 || math.IsNaN(u) {
+			return nil, fmt.Errorf("%w: target utilization for peer %d: %v", ErrBadConfig, id, u)
+		}
+		raw[k] = lambda[k] / u
+		if u > maxU {
+			maxU, richRaw = u, raw[k]
+		}
+	}
+	if richRaw <= 0 {
+		return nil, fmt.Errorf("%w: degenerate equilibrium income", ErrBadConfig)
+	}
+	scale := richMu / richRaw
+	out := make(map[int]float64, n)
+	for k, id := range ids {
+		out[id] = raw[k] * scale
+	}
+	return out, nil
+}
+
+// BetaLikeUtilizations samples target utilizations from the paper's
+// canonical condensation-prone family f(w) = (alpha+1)(1-w)^alpha via
+// inverse CDF, and pins the maximum to exactly 1 (the normalization of
+// Eq. 2). Larger alpha concentrates peers at low utilization — a lower
+// condensation threshold T = 1/alpha.
+func BetaLikeUtilizations(g *topology.Graph, alpha float64, r *xrand.RNG) (map[int]float64, error) {
+	if alpha <= -1 {
+		return nil, fmt.Errorf("%w: alpha %v", ErrBadConfig, alpha)
+	}
+	ids := g.Nodes()
+	out := make(map[int]float64, len(ids))
+	best, bestID := 0.0, 0
+	for _, id := range ids {
+		u := 1 - math.Pow(1-r.Float64(), 1/(alpha+1))
+		if u < 1e-3 {
+			u = 1e-3
+		}
+		out[id] = u
+		if u > best {
+			best, bestID = u, id
+		}
+	}
+	out[bestID] = 1
+	return out, nil
+}
+
+// UniformUtilizations samples target utilizations uniformly from
+// [lo, 1] and pins the maximum at 1 — a mildly asymmetric market.
+func UniformUtilizations(g *topology.Graph, lo float64, r *xrand.RNG) (map[int]float64, error) {
+	if lo <= 0 || lo >= 1 {
+		return nil, fmt.Errorf("%w: lo %v", ErrBadConfig, lo)
+	}
+	ids := g.Nodes()
+	out := make(map[int]float64, len(ids))
+	best, bestID := 0.0, 0
+	for _, id := range ids {
+		u := lo + (1-lo)*r.Float64()
+		out[id] = u
+		if u > best {
+			best, bestID = u, id
+		}
+	}
+	out[bestID] = 1
+	return out, nil
+}

@@ -1,0 +1,659 @@
+// Package market simulates a credit-based P2P content market at credit
+// granularity — the discrete-event counterpart of the paper's Jackson
+// queueing network (Table I). Each peer is a queue of credits: a solvent
+// peer spends one credit after an exponential service time, routed to a
+// neighbor chosen by the routing policy (the transfer matrix P); bankrupt
+// peers idle until income arrives.
+//
+// The simulator supports every mechanism the paper evaluates: taxation with
+// redistribution (Sec. VI-C), wealth-coupled dynamic spending rates
+// (Sec. VI-D), and peer churn turning the closed network into an open one
+// (Sec. VI-E). It reproduces Figs. 5–11.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"creditp2p/internal/credit"
+	"creditp2p/internal/des"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/trace"
+	"creditp2p/internal/xrand"
+)
+
+// collectorID is the ledger account holding taxed credits awaiting
+// redistribution. Overlay node ids are non-negative, so -1 never collides.
+const collectorID = -1
+
+// ErrBadConfig is returned for invalid simulation configurations.
+var ErrBadConfig = errors.New("market: invalid config")
+
+// Routing selects how a spending peer picks the neighbor to buy from,
+// mirroring core.RoutingPolicy at simulation level.
+type Routing int
+
+const (
+	// RouteUniform buys uniformly from neighbors (streaming with
+	// network-coded, equally useful chunks — Sec. V-C1).
+	RouteUniform Routing = iota + 1
+	// RouteDegreeWeighted buys proportionally to neighbor degree, a static
+	// proxy for chunk availability (asymmetric markets).
+	RouteDegreeWeighted
+	// RouteAvailability buys proportionally to each neighbor's live chunk
+	// inventory — an exponentially decaying count of the neighbor's own
+	// recent purchases. This reproduces the paper's protocol coupling
+	// ("credit transfer probabilities to neighbors are decided by their
+	// data chunk availability during streaming", Sec. VI): a bankrupt peer
+	// stops buying, its inventory decays, and its income dries up — the
+	// poverty trap that taxation and redistribution counteract.
+	RouteAvailability
+)
+
+// InjectConfig periodically mints credits into every live peer's pool.
+type InjectConfig struct {
+	// Amount is the number of credits minted per peer per round.
+	Amount int64
+	// Period is the injection interval in seconds.
+	Period float64
+}
+
+// ChurnConfig enables peer dynamics: Poisson arrivals, exponential
+// lifespans, departures that burn the departing peer's credits
+// (Sec. VI-E).
+type ChurnConfig struct {
+	// ArrivalRate is the peer arrival rate in peers/second.
+	ArrivalRate float64
+	// MeanLifespan is the mean of the exponential peer lifetime in seconds.
+	MeanLifespan float64
+	// AttachDegree is the number of edges a joining peer creates.
+	AttachDegree int
+	// Preferential selects degree-proportional attachment (keeps the
+	// overlay scale-free); false attaches uniformly.
+	Preferential bool
+}
+
+// Config describes one market simulation.
+type Config struct {
+	// Graph is the initial overlay. It is mutated during churn; pass a
+	// Clone if the caller needs it preserved.
+	Graph *topology.Graph
+	// InitialWealth is the per-peer credit endowment c.
+	InitialWealth int64
+	// DefaultMu is the base spending rate used for peers absent from BaseMu.
+	DefaultMu float64
+	// BaseMu optionally overrides per-peer base spending rates mu_i.
+	BaseMu map[int]float64
+	// Routing picks the purchase-splitting policy. Zero means RouteUniform.
+	Routing Routing
+	// Spending maps wealth to instantaneous spending rate; nil means the
+	// fixed baseline.
+	Spending credit.SpendingPolicy
+	// Tax enables the Sec. VI-C taxation policy; nil disables.
+	Tax *credit.TaxPolicy
+	// Churn enables open-network dynamics; nil keeps the network closed.
+	Churn *ChurnConfig
+	// JoinMu optionally samples the base spending rate of peers joining
+	// under churn; nil uses BaseMu/DefaultMu.
+	JoinMu func(r *xrand.RNG) float64
+	// AvailabilityTau is the inventory decay time constant (seconds) for
+	// RouteAvailability; zero means 100.
+	AvailabilityTau float64
+	// AvailabilityFloor is the minimum effective inventory so that
+	// newcomers and long-bankrupt peers can still sell occasionally;
+	// zero means 0.05.
+	AvailabilityFloor float64
+	// Inject, when non-nil, mints credits periodically — the "temporary
+	// remedy" of the paper's introduction whose long-run cost is
+	// inflation. Every Period seconds each live peer receives Amount
+	// fresh credits.
+	Inject *InjectConfig
+	// Horizon is the simulated duration in seconds.
+	Horizon float64
+	// SampleEvery is the Gini sampling interval; zero means Horizon/100.
+	SampleEvery float64
+	// SnapshotTimes lists times at which full sorted wealth snapshots are
+	// recorded (Figs. 5–6).
+	SnapshotTimes []float64
+	// MeasureStart is when the spending-rate measurement window opens;
+	// zero means Horizon/2.
+	MeasureStart float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Graph == nil || c.Graph.NumNodes() == 0 {
+		return fmt.Errorf("%w: empty topology", ErrBadConfig)
+	}
+	if c.InitialWealth < 0 {
+		return fmt.Errorf("%w: initial wealth %d", ErrBadConfig, c.InitialWealth)
+	}
+	if c.DefaultMu <= 0 {
+		return fmt.Errorf("%w: default mu %v", ErrBadConfig, c.DefaultMu)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("%w: horizon %v", ErrBadConfig, c.Horizon)
+	}
+	if c.Routing == 0 {
+		c.Routing = RouteUniform
+	}
+	switch c.Routing {
+	case RouteUniform, RouteDegreeWeighted, RouteAvailability:
+	default:
+		return fmt.Errorf("%w: routing %d", ErrBadConfig, c.Routing)
+	}
+	if c.AvailabilityTau <= 0 {
+		c.AvailabilityTau = 100
+	}
+	if c.AvailabilityFloor <= 0 {
+		c.AvailabilityFloor = 0.05
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = c.Horizon / 100
+	}
+	if c.MeasureStart <= 0 || c.MeasureStart >= c.Horizon {
+		c.MeasureStart = c.Horizon / 2
+	}
+	if c.Churn != nil {
+		ch := c.Churn
+		if ch.ArrivalRate < 0 || ch.MeanLifespan <= 0 || ch.AttachDegree < 1 {
+			return fmt.Errorf("%w: churn %+v", ErrBadConfig, *ch)
+		}
+	}
+	if c.Inject != nil {
+		if c.Inject.Amount < 1 || c.Inject.Period <= 0 {
+			return fmt.Errorf("%w: injection %+v", ErrBadConfig, *c.Inject)
+		}
+	}
+	return nil
+}
+
+// Snapshot is a full sorted wealth distribution at one instant.
+type Snapshot struct {
+	Time   float64
+	Sorted []float64
+}
+
+// Result collects the outputs of one run.
+type Result struct {
+	// Gini is the wealth-Gini time series sampled at SampleEvery.
+	Gini *trace.Series
+	// Population is the peer-count time series (interesting under churn).
+	Population *trace.Series
+	// Snapshots are the requested sorted wealth distributions.
+	Snapshots []Snapshot
+	// FinalWealth maps surviving peer ids to balances.
+	FinalWealth map[int]int64
+	// FinalGini is the Gini of FinalWealth.
+	FinalGini float64
+	// SpendingRate maps surviving peer ids to measured credit spending
+	// rates (spends/second) over the measurement window — Fig. 1's metric.
+	SpendingRate map[int]float64
+	// SpendEvents counts credit transfers executed.
+	SpendEvents uint64
+	// Joins and Departures count churn events.
+	Joins, Departures uint64
+	// TaxCollected and TaxRedistributed report taxation activity.
+	TaxCollected, TaxRedistributed int64
+	// Injected counts credits minted by the injection policy.
+	Injected int64
+	// Supply is the money-supply time series (constant when the market is
+	// closed; growing under injection, drifting under churn).
+	Supply *trace.Series
+}
+
+type peerState struct {
+	baseMu  float64
+	pending des.Event
+	idle    bool
+	// Cached routing weights; rebuilt when dirty (churn touched the
+	// neighborhood).
+	nbrs    []int
+	weights []float64
+	dirty   bool
+	// spends counts transfers initiated inside the measurement window.
+	spends uint64
+	// inv is the decaying chunk inventory for RouteAvailability, valid at
+	// time invAt (lazy exponential decay).
+	inv   float64
+	invAt float64
+}
+
+// inventory returns the peer's decayed inventory at time now.
+func (p *peerState) inventory(now, tau float64) float64 {
+	if p.inv == 0 {
+		return 0
+	}
+	return p.inv * math.Exp(-(now-p.invAt)/tau)
+}
+
+// addInventory records a freshly bought chunk at time now.
+func (p *peerState) addInventory(now, tau float64) {
+	p.inv = p.inventory(now, tau) + 1
+	p.invAt = now
+}
+
+type simulation struct {
+	cfg    Config
+	g      *topology.Graph
+	sched  *des.Scheduler
+	rng    *xrand.RNG
+	ledger *credit.Ledger
+	peers  map[int]*peerState
+	res    *Result
+}
+
+// Run executes the simulation described by cfg.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &simulation{
+		cfg:    cfg,
+		g:      cfg.Graph,
+		sched:  des.NewScheduler(),
+		rng:    xrand.New(cfg.Seed),
+		ledger: credit.NewLedger(),
+		peers:  make(map[int]*peerState),
+		res: &Result{
+			Gini:         trace.NewSeries("gini"),
+			Population:   trace.NewSeries("population"),
+			Supply:       trace.NewSeries("supply"),
+			FinalWealth:  make(map[int]int64),
+			SpendingRate: make(map[int]float64),
+		},
+	}
+	if err := s.ledger.Open(collectorID, 0); err != nil {
+		return nil, err
+	}
+	for _, id := range s.g.Nodes() {
+		if err := s.addPeer(id, s.muOf(id)); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.scheduleMetrics(); err != nil {
+		return nil, err
+	}
+	if cfg.Churn != nil {
+		// Initial peers are as mortal as joiners (memoryless lifespans), so
+		// the population relaxes to ArrivalRate * MeanLifespan.
+		for id := range s.peers {
+			s.scheduleDeparture(id)
+		}
+		if cfg.Churn.ArrivalRate > 0 {
+			if err := s.scheduleArrival(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.Inject != nil {
+		if err := s.scheduleInjection(); err != nil {
+			return nil, err
+		}
+	}
+	s.sched.RunUntil(cfg.Horizon)
+
+	if err := s.finish(); err != nil {
+		return nil, err
+	}
+	return s.res, nil
+}
+
+func (s *simulation) muOf(id int) float64 {
+	if mu, ok := s.cfg.BaseMu[id]; ok {
+		return mu
+	}
+	return s.cfg.DefaultMu
+}
+
+func (s *simulation) addPeer(id int, mu float64) error {
+	if mu <= 0 || math.IsNaN(mu) {
+		return fmt.Errorf("%w: mu %v for peer %d", ErrBadConfig, mu, id)
+	}
+	if err := s.ledger.Open(id, s.cfg.InitialWealth); err != nil {
+		return err
+	}
+	p := &peerState{baseMu: mu, dirty: true, idle: true}
+	s.peers[id] = p
+	if s.cfg.InitialWealth > 0 {
+		s.scheduleSpend(id, p, s.cfg.InitialWealth)
+	}
+	return nil
+}
+
+// scheduleSpend arms the next spend event for a solvent peer.
+func (s *simulation) scheduleSpend(id int, p *peerState, balance int64) {
+	rate := p.baseMu
+	if s.cfg.Spending != nil {
+		rate = s.cfg.Spending.Rate(p.baseMu, balance)
+	}
+	if rate <= 0 {
+		p.idle = true
+		return
+	}
+	delay := s.rng.Exponential(rate)
+	ev, err := s.sched.Schedule(delay, func() { s.spend(id) })
+	if err != nil {
+		// Schedule relative to now with non-negative delay cannot fail;
+		// treat as idle defensively.
+		p.idle = true
+		return
+	}
+	p.pending = ev
+	p.idle = false
+}
+
+// spend executes one credit departure from peer id.
+func (s *simulation) spend(id int) {
+	p, ok := s.peers[id]
+	if !ok {
+		return // departed between scheduling and firing
+	}
+	balance, err := s.ledger.Balance(id)
+	if err != nil || balance <= 0 {
+		p.idle = true
+		return
+	}
+	target, ok := s.pickNeighbor(id, p)
+	if ok {
+		if err := s.ledger.Transfer(id, target, 1); err == nil {
+			s.res.SpendEvents++
+			if s.sched.Now() >= s.cfg.MeasureStart {
+				p.spends++
+			}
+			if s.cfg.Routing == RouteAvailability {
+				// The buyer now holds a fresh chunk it can resell.
+				p.addInventory(s.sched.Now(), s.cfg.AvailabilityTau)
+			}
+			s.receiveIncome(target, 1)
+			balance--
+		}
+	}
+	if balance > 0 {
+		s.scheduleSpend(id, p, balance)
+	} else {
+		p.idle = true
+	}
+}
+
+// receiveIncome handles a payment or redistribution landing at a peer:
+// taxation and waking an idle peer.
+func (s *simulation) receiveIncome(id int, amount int64) {
+	p, ok := s.peers[id]
+	if !ok {
+		return
+	}
+	balance, err := s.ledger.Balance(id)
+	if err != nil {
+		return
+	}
+	if s.cfg.Tax != nil {
+		preIncome := balance - amount
+		if taxed := s.cfg.Tax.TaxIncome(preIncome, amount, s.rng); taxed > 0 {
+			if err := s.ledger.Transfer(id, collectorID, taxed); err == nil {
+				balance -= taxed
+				s.redistribute()
+			}
+		}
+	}
+	if p.idle && balance > 0 {
+		s.scheduleSpend(id, p, balance)
+	}
+}
+
+// redistribute pays one credit to every peer per full collection round
+// (Sec. VI-C: "whenever the system has collected N units, it returns a unit
+// to each peer").
+func (s *simulation) redistribute() {
+	n := len(s.peers)
+	rounds := s.cfg.Tax.Redistribute(n)
+	if rounds == 0 {
+		return
+	}
+	for id, p := range s.peers {
+		if err := s.ledger.Transfer(collectorID, id, rounds); err != nil {
+			continue
+		}
+		if p.idle {
+			if b, err := s.ledger.Balance(id); err == nil && b > 0 {
+				s.scheduleSpend(id, p, b)
+			}
+		}
+	}
+}
+
+// pickNeighbor samples the purchase target according to the routing policy.
+func (s *simulation) pickNeighbor(id int, p *peerState) (int, bool) {
+	if p.dirty {
+		s.rebuildWeights(id, p)
+	}
+	if len(p.nbrs) == 0 {
+		return 0, false
+	}
+	switch s.cfg.Routing {
+	case RouteUniform:
+		return p.nbrs[s.rng.Intn(len(p.nbrs))], true
+	case RouteAvailability:
+		now := s.sched.Now()
+		if cap(p.weights) < len(p.nbrs) {
+			p.weights = make([]float64, len(p.nbrs))
+		}
+		p.weights = p.weights[:len(p.nbrs)]
+		for i, nb := range p.nbrs {
+			w := s.cfg.AvailabilityFloor
+			if q, ok := s.peers[nb]; ok {
+				w += q.inventory(now, s.cfg.AvailabilityTau)
+			}
+			p.weights[i] = w
+		}
+	}
+	idx, err := xrand.SampleWeighted(s.rng, p.weights)
+	if err != nil {
+		return 0, false
+	}
+	return p.nbrs[idx], true
+}
+
+func (s *simulation) rebuildWeights(id int, p *peerState) {
+	p.nbrs = s.g.Neighbors(id)
+	p.dirty = false
+	if s.cfg.Routing != RouteDegreeWeighted {
+		p.weights = nil
+		return
+	}
+	p.weights = make([]float64, len(p.nbrs))
+	for i, nb := range p.nbrs {
+		p.weights[i] = float64(s.g.Degree(nb))
+	}
+}
+
+// markNeighborhoodDirty invalidates cached weights around a node whose
+// incident edges changed.
+func (s *simulation) markNeighborhoodDirty(id int) {
+	for _, nb := range s.g.Neighbors(id) {
+		if q, ok := s.peers[nb]; ok {
+			q.dirty = true
+		}
+	}
+	if p, ok := s.peers[id]; ok {
+		p.dirty = true
+	}
+}
+
+func (s *simulation) scheduleArrival() error {
+	delay := s.rng.Exponential(s.cfg.Churn.ArrivalRate)
+	_, err := s.sched.Schedule(delay, s.arrive)
+	return err
+}
+
+func (s *simulation) arrive() {
+	id := s.g.NewNodeID()
+	attach := s.cfg.Churn.AttachDegree
+	var err error
+	if s.cfg.Churn.Preferential {
+		err = topology.AttachPreferential(s.g, id, attach, s.rng)
+	} else {
+		err = topology.AttachRandom(s.g, id, attach, s.rng)
+	}
+	if err == nil {
+		mu := s.muOf(id)
+		if s.cfg.JoinMu != nil {
+			mu = s.cfg.JoinMu(s.rng)
+		}
+		if err := s.addPeer(id, mu); err == nil {
+			s.res.Joins++
+			s.markNeighborhoodDirty(id)
+			s.scheduleDeparture(id)
+		}
+	}
+	// Keep the arrival process running regardless of individual failures.
+	if err := s.scheduleArrival(); err != nil {
+		return
+	}
+}
+
+// scheduleInjection arms the periodic minting of fresh credits.
+func (s *simulation) scheduleInjection() error {
+	var inject func()
+	inject = func() {
+		for id, p := range s.peers {
+			if err := s.ledger.Deposit(id, s.cfg.Inject.Amount); err != nil {
+				continue
+			}
+			s.res.Injected += s.cfg.Inject.Amount
+			if p.idle {
+				if b, err := s.ledger.Balance(id); err == nil && b > 0 {
+					s.scheduleSpend(id, p, b)
+				}
+			}
+		}
+		if s.sched.Now()+s.cfg.Inject.Period <= s.cfg.Horizon {
+			if _, err := s.sched.Schedule(s.cfg.Inject.Period, inject); err != nil {
+				return
+			}
+		}
+	}
+	_, err := s.sched.Schedule(s.cfg.Inject.Period, inject)
+	return err
+}
+
+func (s *simulation) scheduleDeparture(id int) {
+	life := s.rng.Exponential(1 / s.cfg.Churn.MeanLifespan)
+	if _, err := s.sched.Schedule(life, func() { s.depart(id) }); err != nil {
+		return
+	}
+}
+
+func (s *simulation) depart(id int) {
+	p, ok := s.peers[id]
+	if !ok {
+		return
+	}
+	// Keep at least a seed of peers alive so the market never empties.
+	if len(s.peers) <= 2 {
+		s.scheduleDeparture(id)
+		return
+	}
+	p.pending.Cancel()
+	s.markNeighborhoodDirty(id)
+	delete(s.peers, id)
+	if _, err := s.ledger.Close(id); err != nil {
+		return
+	}
+	if err := s.g.RemoveNode(id); err != nil {
+		return
+	}
+	s.res.Departures++
+}
+
+// scheduleMetrics arms the periodic Gini sampler and the snapshot events.
+func (s *simulation) scheduleMetrics() error {
+	var sample func()
+	sample = func() {
+		s.recordSample()
+		if s.sched.Now()+s.cfg.SampleEvery <= s.cfg.Horizon {
+			if _, err := s.sched.Schedule(s.cfg.SampleEvery, sample); err != nil {
+				return
+			}
+		}
+	}
+	if _, err := s.sched.Schedule(s.cfg.SampleEvery, sample); err != nil {
+		return err
+	}
+	for _, at := range s.cfg.SnapshotTimes {
+		if at < 0 || at > s.cfg.Horizon {
+			return fmt.Errorf("%w: snapshot time %v outside [0, %v]", ErrBadConfig, at, s.cfg.Horizon)
+		}
+		at := at
+		if _, err := s.sched.ScheduleAt(at, func() { s.recordSnapshot(at) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *simulation) wealthVector() []float64 {
+	out := make([]float64, 0, len(s.peers))
+	for id := range s.peers {
+		if b, err := s.ledger.Balance(id); err == nil {
+			out = append(out, float64(b))
+		}
+	}
+	return out
+}
+
+func (s *simulation) recordSample() {
+	wealth := s.wealthVector()
+	if len(wealth) == 0 {
+		return
+	}
+	if g, err := stats.Gini(wealth); err == nil {
+		s.res.Gini.Add(s.sched.Now(), g)
+	}
+	s.res.Population.Add(s.sched.Now(), float64(len(wealth)))
+	s.res.Supply.Add(s.sched.Now(), float64(s.ledger.Total()))
+}
+
+func (s *simulation) recordSnapshot(at float64) {
+	s.res.Snapshots = append(s.res.Snapshots, Snapshot{
+		Time:   at,
+		Sorted: trace.SortedSnapshot(s.wealthVector()),
+	})
+}
+
+func (s *simulation) finish() error {
+	if err := s.ledger.CheckConservation(); err != nil {
+		return fmt.Errorf("market: conservation violated: %w", err)
+	}
+	window := s.cfg.Horizon - s.cfg.MeasureStart
+	for id, p := range s.peers {
+		b, err := s.ledger.Balance(id)
+		if err != nil {
+			return err
+		}
+		s.res.FinalWealth[id] = b
+		if window > 0 {
+			s.res.SpendingRate[id] = float64(p.spends) / window
+		}
+	}
+	wealth := s.wealthVector()
+	if len(wealth) > 0 {
+		g, err := stats.Gini(wealth)
+		if err != nil {
+			return err
+		}
+		s.res.FinalGini = g
+	}
+	if s.cfg.Tax != nil {
+		s.res.TaxCollected = s.cfg.Tax.Collected()
+		s.res.TaxRedistributed = s.cfg.Tax.PaidOut()
+	}
+	sort.SliceStable(s.res.Snapshots, func(i, j int) bool {
+		return s.res.Snapshots[i].Time < s.res.Snapshots[j].Time
+	})
+	return nil
+}

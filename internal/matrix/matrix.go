@@ -1,0 +1,183 @@
+// Package matrix provides the small dense linear-algebra kernel used by the
+// queueing model: row-stochastic credit-transfer matrices, stationary
+// (left-eigen) vectors via power iteration and direct elimination, and the
+// linear solves required by open-network traffic equations.
+//
+// The paper's Lemma 1 asserts that for any transfer probability matrix P a
+// positive arrival-rate vector with lambda*P = lambda exists
+// (Perron–Frobenius); StationaryVector computes it.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operand shapes do not match.
+var ErrDimension = errors.New("matrix: dimension mismatch")
+
+// ErrSingular is returned when a linear system has no unique solution.
+var ErrSingular = errors.New("matrix: singular system")
+
+// ErrNotStochastic is returned when a matrix expected to be row-stochastic
+// is not.
+var ErrNotStochastic = errors.New("matrix: not row-stochastic")
+
+// ErrNoConvergence is returned when an iterative method exhausts its
+// iteration budget.
+var ErrNoConvergence = errors.New("matrix: no convergence")
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense creates a zero rows×cols matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimensions %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]float64) (*Dense, error) {
+	if len(rows) == 0 {
+		return NewDense(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewDense(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimension, i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := NewDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// LeftMulVec computes v*M for a row vector v, the propagation step of
+// arrival rates through the transfer matrix (lambda' = lambda*P).
+func (m *Dense) LeftMulVec(v []float64) ([]float64, error) {
+	if len(v) != m.rows {
+		return nil, fmt.Errorf("%w: vector %d, matrix %dx%d", ErrDimension, len(v), m.rows, m.cols)
+	}
+	out := make([]float64, m.cols)
+	for i, vi := range v {
+		if vi == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, pij := range row {
+			out[j] += vi * pij
+		}
+	}
+	return out, nil
+}
+
+// MulVec computes M*x for a column vector x.
+func (m *Dense) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, fmt.Errorf("%w: vector %d, matrix %dx%d", ErrDimension, len(x), m.rows, m.cols)
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, pij := range row {
+			s += pij * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Transpose returns the transpose matrix.
+func (m *Dense) Transpose() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// CheckRowStochastic verifies that the matrix is square, entries are
+// non-negative and every row sums to 1 within tol — the conditions on the
+// credit transfer probability matrix P in Lemma 1.
+func (m *Dense) CheckRowStochastic(tol float64) error {
+	if m.rows != m.cols {
+		return fmt.Errorf("%w: %dx%d not square", ErrNotStochastic, m.rows, m.cols)
+	}
+	for i := 0; i < m.rows; i++ {
+		var sum float64
+		for j := 0; j < m.cols; j++ {
+			v := m.At(i, j)
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("%w: entry (%d,%d)=%v", ErrNotStochastic, i, j, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return fmt.Errorf("%w: row %d sums to %v", ErrNotStochastic, i, sum)
+		}
+	}
+	return nil
+}
+
+// NormalizeRows scales every row to sum to 1, turning a non-negative weight
+// matrix (e.g. purchase fractions derived from chunk availability) into a
+// transfer probability matrix. Rows that sum to zero get a self-loop
+// (p_ii = 1), modeling a peer that reserves all its credits.
+func NormalizeRows(weights *Dense) *Dense {
+	out := weights.Clone()
+	for i := 0; i < out.rows; i++ {
+		row := out.data[i*out.cols : (i+1)*out.cols]
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		if sum <= 0 {
+			for j := range row {
+				row[j] = 0
+			}
+			if i < out.cols {
+				row[i] = 1
+			}
+			continue
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}

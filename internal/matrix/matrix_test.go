@@ -1,0 +1,360 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"creditp2p/internal/xrand"
+)
+
+func mustFromRows(t *testing.T, rows [][]float64) *Dense {
+	t.Helper()
+	m, err := FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v", m.At(2, 1))
+	}
+	m.Set(0, 0, 9)
+	if m.At(0, 0) != 9 {
+		t.Errorf("Set/At mismatch")
+	}
+	row := m.Row(1)
+	row[0] = -1 // must not alias
+	if m.At(1, 0) != 3 {
+		t.Error("Row aliases internal storage")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimension) {
+		t.Errorf("error = %v, want ErrDimension", err)
+	}
+}
+
+func TestLeftMulVec(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	got, err := m.LeftMulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("LeftMulVec = %v, want %v", got, want)
+			break
+		}
+	}
+	if _, err := m.LeftMulVec([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Errorf("dim error = %v", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2}, {3, 4}})
+	got, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", got)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustFromRows(t, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape = %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCheckRowStochastic(t *testing.T) {
+	good := mustFromRows(t, [][]float64{{0.5, 0.5}, {0.2, 0.8}})
+	if err := good.CheckRowStochastic(1e-9); err != nil {
+		t.Errorf("valid matrix rejected: %v", err)
+	}
+	tests := []struct {
+		name string
+		m    *Dense
+	}{
+		{"not-square", mustFromRows(t, [][]float64{{1, 0}})},
+		{"negative", mustFromRows(t, [][]float64{{1.5, -0.5}, {0.5, 0.5}})},
+		{"bad-sum", mustFromRows(t, [][]float64{{0.5, 0.4}, {0.5, 0.5}})},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.CheckRowStochastic(1e-9); !errors.Is(err, ErrNotStochastic) {
+				t.Errorf("error = %v, want ErrNotStochastic", err)
+			}
+		})
+	}
+}
+
+func TestNormalizeRows(t *testing.T) {
+	w := mustFromRows(t, [][]float64{{2, 2}, {0, 0}})
+	p := NormalizeRows(w)
+	if err := p.CheckRowStochastic(1e-12); err != nil {
+		t.Fatalf("normalized matrix not stochastic: %v", err)
+	}
+	if p.At(0, 0) != 0.5 {
+		t.Errorf("p00 = %v", p.At(0, 0))
+	}
+	// Zero row becomes a self-loop (credit reservation).
+	if p.At(1, 1) != 1 {
+		t.Errorf("zero row self-loop = %v", p.At(1, 1))
+	}
+	// Input untouched.
+	if w.At(0, 0) != 2 {
+		t.Error("NormalizeRows mutated its input")
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{2, 1}, {1, 3}})
+	x, err := SolveLinear(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution: x = (1, 3).
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := mustFromRows(t, [][]float64{{0, 1}, {1, 0}})
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Errorf("x = %v, want [3 2]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{1, 2}, {2, 4}})
+	if _, err := SolveLinear(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("error = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveLinearDoesNotMutate(t *testing.T) {
+	a := mustFromRows(t, [][]float64{{2, 1}, {1, 3}})
+	b := []float64{5, 10}
+	if _, err := SolveLinear(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || b[0] != 5 {
+		t.Error("SolveLinear mutated inputs")
+	}
+}
+
+func TestStationaryVectorTwoState(t *testing.T) {
+	// Birth-death chain: stationary = (b, a)/(a+b) for
+	// P = [[1-a, a], [b, 1-b]].
+	p := mustFromRows(t, [][]float64{{0.7, 0.3}, {0.1, 0.9}})
+	v, err := StationaryVector(p, StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.75}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-9 {
+			t.Errorf("v = %v, want %v", v, want)
+			break
+		}
+	}
+}
+
+func TestStationaryVectorUniformForDoublyStochastic(t *testing.T) {
+	// Doubly stochastic matrices have the uniform stationary vector; the
+	// paper's streaming + uniform pricing case (Sec. V-C1) is of this kind.
+	p := mustFromRows(t, [][]float64{
+		{0, 0.5, 0.5},
+		{0.5, 0, 0.5},
+		{0.5, 0.5, 0},
+	})
+	v, err := StationaryVector(p, StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, vi := range v {
+		if math.Abs(vi-1.0/3) > 1e-9 {
+			t.Errorf("v[%d] = %v, want 1/3", i, vi)
+		}
+	}
+}
+
+func TestStationaryVectorPeriodicChain(t *testing.T) {
+	// A 2-cycle is periodic; the lazy power iteration must still converge
+	// to (0.5, 0.5).
+	p := mustFromRows(t, [][]float64{{0, 1}, {1, 0}})
+	v, err := StationaryVector(p, StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]-0.5) > 1e-8 || math.Abs(v[1]-0.5) > 1e-8 {
+		t.Errorf("v = %v, want [0.5 0.5]", v)
+	}
+}
+
+func TestStationaryVectorIdentity(t *testing.T) {
+	// Identity is reducible: every distribution is stationary. We accept
+	// any valid fixed point.
+	p := mustFromRows(t, [][]float64{{1, 0}, {0, 1}})
+	v, err := StationaryVector(p, StationaryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := p.LeftMulVec(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if math.Abs(pv[i]-v[i]) > 1e-9 {
+			t.Errorf("not a fixed point: %v -> %v", v, pv)
+		}
+	}
+}
+
+func TestStationaryVectorRejectsNonStochastic(t *testing.T) {
+	p := mustFromRows(t, [][]float64{{0.5, 0.4}, {0.5, 0.5}})
+	if _, err := StationaryVector(p, StationaryOptions{}); !errors.Is(err, ErrNotStochastic) {
+		t.Errorf("error = %v, want ErrNotStochastic", err)
+	}
+}
+
+func TestStationaryVectorRandomStochastic(t *testing.T) {
+	// Property: for random dense stochastic matrices the returned vector is
+	// a probability vector and a fixed point (Lemma 1's existence).
+	f := func(seed int64, sizeSeed uint8) bool {
+		n := int(sizeSeed%8) + 2
+		r := xrand.New(seed)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			var sum float64
+			for j := range rows[i] {
+				rows[i][j] = r.Float64() + 0.01 // strictly positive => irreducible
+				sum += rows[i][j]
+			}
+			for j := range rows[i] {
+				rows[i][j] /= sum
+			}
+		}
+		p, err := FromRows(rows)
+		if err != nil {
+			return false
+		}
+		v, err := StationaryVector(p, StationaryOptions{})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, vi := range v {
+			if vi < 0 {
+				return false
+			}
+			sum += vi
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		pv, err := p.LeftMulVec(v)
+		if err != nil {
+			return false
+		}
+		for i := range v {
+			if math.Abs(pv[i]-v[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveTrafficSingleQueueWithFeedback(t *testing.T) {
+	// One queue, feedback probability 0.5, external rate 1:
+	// lambda = 1 + 0.5 lambda => lambda = 2.
+	p := mustFromRows(t, [][]float64{{0.5}})
+	lambda, err := SolveTraffic(p, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda[0]-2) > 1e-12 {
+		t.Errorf("lambda = %v, want 2", lambda[0])
+	}
+}
+
+func TestSolveTrafficTandem(t *testing.T) {
+	// Tandem: external arrivals only at queue 0, all flow 0->1, then leaves.
+	p := mustFromRows(t, [][]float64{{0, 1}, {0, 0}})
+	lambda, err := SolveTraffic(p, []float64{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lambda[0]-3) > 1e-12 || math.Abs(lambda[1]-3) > 1e-12 {
+		t.Errorf("lambda = %v, want [3 3]", lambda)
+	}
+}
+
+func TestSolveTrafficClosedIsSingular(t *testing.T) {
+	// A fully closed routing (row sums = 1) with zero external arrivals has
+	// no unique solution; the solver must report singularity rather than
+	// fabricate rates.
+	p := mustFromRows(t, [][]float64{{0, 1}, {1, 0}})
+	if _, err := SolveTraffic(p, []float64{0, 0}); !errors.Is(err, ErrSingular) {
+		t.Errorf("error = %v, want ErrSingular", err)
+	}
+}
+
+func BenchmarkStationaryVector100(b *testing.B) {
+	r := xrand.New(7)
+	n := 100
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		var sum float64
+		for j := range rows[i] {
+			rows[i][j] = r.Float64()
+			sum += rows[i][j]
+		}
+		for j := range rows[i] {
+			rows[i][j] /= sum
+		}
+	}
+	p, err := FromRows(rows)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StationaryVector(p, StationaryOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

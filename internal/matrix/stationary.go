@@ -1,0 +1,241 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// StationaryOptions tunes the stationary-vector computation.
+type StationaryOptions struct {
+	// Tol is the convergence tolerance on the L1 change between iterates
+	// (power iteration) and the fixed-point residual check. Zero means 1e-12.
+	Tol float64
+	// MaxIter bounds power iterations. Zero means 100000.
+	MaxIter int
+}
+
+func (o StationaryOptions) withDefaults() StationaryOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100000
+	}
+	return o
+}
+
+// StationaryVector computes a probability vector lambda with
+// lambda*P = lambda for a row-stochastic P — the equilibrium arrival-rate
+// profile of Lemma 1, normalized to sum to 1. It first attempts direct
+// Gaussian elimination of the balance equations (exact for irreducible
+// chains) and falls back to damped power iteration when the system is
+// numerically singular (e.g. reducible chains, where any convex combination
+// of class-stationary vectors is returned).
+func StationaryVector(p *Dense, opts StationaryOptions) ([]float64, error) {
+	if err := p.CheckRowStochastic(1e-9); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults()
+	if v, err := stationaryDirect(p); err == nil {
+		if err := checkFixedPoint(p, v, 1e-8); err == nil {
+			return v, nil
+		}
+	}
+	return stationaryPower(p, o)
+}
+
+// stationaryDirect solves (P^T - I)x = 0 with the normalization sum(x)=1 by
+// Gaussian elimination with partial pivoting, replacing the last balance
+// equation by the normalization constraint.
+func stationaryDirect(p *Dense) ([]float64, error) {
+	n := p.Rows()
+	if n == 0 {
+		return nil, ErrDimension
+	}
+	// Build A = P^T - I with the last row replaced by ones; b = e_n.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, p.At(j, i))
+		}
+		a.Set(i, i, a.At(i, i)-1)
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range x {
+		if v < -1e-9 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: negative stationary component %v", ErrSingular, v)
+		}
+	}
+	// Clamp tiny negative rounding noise and renormalize.
+	var sum float64
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+		sum += x[i]
+	}
+	if sum <= 0 {
+		return nil, ErrSingular
+	}
+	for i := range x {
+		x[i] /= sum
+	}
+	return x, nil
+}
+
+// stationaryPower runs power iteration on the lazy chain (P+I)/2, which has
+// the same stationary vectors as P but is aperiodic, guaranteeing
+// convergence for irreducible chains from a positive start.
+func stationaryPower(p *Dense, o StationaryOptions) ([]float64, error) {
+	n := p.Rows()
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		next, err := p.LeftMulVec(v)
+		if err != nil {
+			return nil, err
+		}
+		var diff, sum float64
+		for i := range next {
+			next[i] = (next[i] + v[i]) / 2 // lazy step
+			sum += next[i]
+		}
+		for i := range next {
+			next[i] /= sum
+			diff += math.Abs(next[i] - v[i])
+		}
+		v = next
+		if diff < o.Tol {
+			return v, nil
+		}
+	}
+	// Accept the iterate if it satisfies the fixed point loosely.
+	if err := checkFixedPoint(p, v, 1e-6); err == nil {
+		return v, nil
+	}
+	return nil, fmt.Errorf("%w after %d iterations", ErrNoConvergence, o.MaxIter)
+}
+
+func checkFixedPoint(p *Dense, v []float64, tol float64) error {
+	pv, err := p.LeftMulVec(v)
+	if err != nil {
+		return err
+	}
+	var resid float64
+	for i := range v {
+		resid += math.Abs(pv[i] - v[i])
+	}
+	if resid > tol {
+		return fmt.Errorf("%w: residual %v", ErrNoConvergence, resid)
+	}
+	return nil
+}
+
+// SolveLinear solves the square system A x = b by Gaussian elimination with
+// partial pivoting. A and b are not modified. It returns ErrSingular when a
+// pivot vanishes.
+func SolveLinear(a *Dense, b []float64) ([]float64, error) {
+	n := a.Rows()
+	if a.Cols() != n {
+		return nil, fmt.Errorf("%w: matrix %dx%d not square", ErrDimension, a.Rows(), a.Cols())
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs %d, want %d", ErrDimension, len(b), n)
+	}
+	// Working copies.
+	m := a.Clone()
+	x := make([]float64, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-13 {
+			return nil, fmt.Errorf("%w: pivot %v at column %d", ErrSingular, best, col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				tmp := m.At(col, j)
+				m.Set(col, j, m.At(pivot, j))
+				m.Set(pivot, j, tmp)
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			factor := m.At(r, col) * inv
+			if factor == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-factor*m.At(col, j))
+			}
+			x[r] -= factor * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveTraffic solves the open-network traffic equations
+// lambda = gamma + lambda*P, i.e. lambda(I - P) = gamma, where gamma are
+// external arrival rates and P is a substochastic routing matrix (row sums
+// <= 1, the deficit being the departure probability). Used for the churn
+// (open Jackson network) analysis of Sec. VI-E.
+func SolveTraffic(p *Dense, gamma []float64) ([]float64, error) {
+	n := p.Rows()
+	if p.Cols() != n {
+		return nil, fmt.Errorf("%w: routing %dx%d not square", ErrDimension, p.Rows(), p.Cols())
+	}
+	if len(gamma) != n {
+		return nil, fmt.Errorf("%w: gamma %d, want %d", ErrDimension, len(gamma), n)
+	}
+	// lambda(I-P) = gamma  <=>  (I-P)^T lambda^T = gamma^T.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := -p.At(j, i)
+			if i == j {
+				v = 1 - p.At(i, i)
+			}
+			a.Set(i, j, v)
+		}
+	}
+	lambda, err := SolveLinear(a, gamma)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range lambda {
+		if v < -1e-9 {
+			return nil, fmt.Errorf("%w: negative arrival rate %v at %d", ErrSingular, v, i)
+		}
+		if v < 0 {
+			lambda[i] = 0
+		}
+	}
+	return lambda, nil
+}

@@ -1,0 +1,61 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MVAResult holds the exact mean-value-analysis solution of a closed
+// network: per-queue mean lengths and throughputs at the given population.
+type MVAResult struct {
+	// MeanLengths[i] is E[B_i], the expected credits parked at peer i.
+	MeanLengths []float64
+	// Throughputs[i] is the equilibrium credit departure rate of peer i.
+	Throughputs []float64
+	// SystemThroughput is the reference-flow throughput X(M).
+	SystemThroughput float64
+}
+
+// MVA runs exact mean value analysis for a closed single-server network
+// with visit ratios v (any positive scaling of the stationary solution of
+// lambda = lambda*P) and service rates mu, at population m. It is an
+// independent O(N*M) algorithm against which the Buzen-convolution results
+// are cross-validated; the two must agree to numerical precision.
+func MVA(v, mu []float64, m int) (*MVAResult, error) {
+	n := len(v)
+	if n == 0 || len(mu) != n {
+		return nil, fmt.Errorf("%w: v %d, mu %d", ErrBadRates, n, len(mu))
+	}
+	for i := 0; i < n; i++ {
+		if v[i] < 0 || mu[i] <= 0 || math.IsNaN(v[i]) || math.IsNaN(mu[i]) {
+			return nil, fmt.Errorf("%w: v[%d]=%v mu[%d]=%v", ErrBadRates, i, v[i], i, mu[i])
+		}
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("%w: population %d", ErrBadRates, m)
+	}
+
+	lengths := make([]float64, n)
+	resid := make([]float64, n)
+	var x float64
+	for pop := 1; pop <= m; pop++ {
+		var denom float64
+		for i := 0; i < n; i++ {
+			resid[i] = (1 + lengths[i]) / mu[i]
+			denom += v[i] * resid[i]
+		}
+		x = float64(pop) / denom
+		for i := 0; i < n; i++ {
+			lengths[i] = x * v[i] * resid[i]
+		}
+	}
+	throughputs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		throughputs[i] = x * v[i]
+	}
+	return &MVAResult{
+		MeanLengths:      lengths,
+		Throughputs:      throughputs,
+		SystemThroughput: x,
+	}, nil
+}

@@ -1,0 +1,139 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"creditp2p/internal/matrix"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/xrand"
+)
+
+// Open is an open Jackson network: credits enter from outside (peers join
+// with an initial endowment), circulate through the routing matrix, and
+// leave (peers depart and take their credits along) — the model of the
+// churn experiments in Sec. VI-E. Each queue behaves as an independent
+// M/M/1 queue at equilibrium.
+type Open struct {
+	rho []float64 // per-queue utilization lambda_i/mu_i, each < 1
+}
+
+// NewOpen solves the traffic equations lambda = gamma + lambda*P for the
+// substochastic routing matrix p (row deficits are departure probabilities)
+// and builds the equilibrium model. It returns ErrUnstable listing the
+// first queue whose utilization reaches 1.
+func NewOpen(p *matrix.Dense, gamma, mu []float64) (*Open, error) {
+	lambda, err := matrix.SolveTraffic(p, gamma)
+	if err != nil {
+		return nil, fmt.Errorf("traffic equations: %w", err)
+	}
+	if len(mu) != len(lambda) {
+		return nil, fmt.Errorf("%w: mu %d, queues %d", ErrBadRates, len(mu), len(lambda))
+	}
+	rho := make([]float64, len(lambda))
+	for i := range lambda {
+		if mu[i] <= 0 {
+			return nil, fmt.Errorf("%w: mu[%d]=%v", ErrBadRates, i, mu[i])
+		}
+		rho[i] = lambda[i] / mu[i]
+		if rho[i] >= 1 {
+			return nil, fmt.Errorf("%w: queue %d has rho=%v", ErrUnstable, i, rho[i])
+		}
+	}
+	return &Open{rho: rho}, nil
+}
+
+// NewOpenFromRho builds an open network directly from per-queue
+// utilizations, each in [0, 1).
+func NewOpenFromRho(rho []float64) (*Open, error) {
+	if len(rho) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadRates)
+	}
+	out := make([]float64, len(rho))
+	for i, v := range rho {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: rho[%d]=%v", ErrUnstable, i, v)
+		}
+		out[i] = v
+	}
+	return &Open{rho: out}, nil
+}
+
+// N returns the number of queues.
+func (o *Open) N() int { return len(o.rho) }
+
+// Utilizations returns a copy of the per-queue utilizations.
+func (o *Open) Utilizations() []float64 {
+	out := make([]float64, len(o.rho))
+	copy(out, o.rho)
+	return out
+}
+
+// MeanLengths returns the M/M/1 means rho/(1-rho) per queue.
+func (o *Open) MeanLengths() []float64 {
+	out := make([]float64, len(o.rho))
+	for i, r := range o.rho {
+		out[i] = r / (1 - r)
+	}
+	return out
+}
+
+// Marginal returns queue i's geometric stationary PMF truncated at maxLen
+// (the tail above maxLen is folded into renormalization; choose maxLen well
+// above the mean).
+func (o *Open) Marginal(i, maxLen int) (stats.PMF, error) {
+	if i < 0 || i >= len(o.rho) {
+		return nil, fmt.Errorf("%w: queue %d of %d", ErrBadRates, i, len(o.rho))
+	}
+	if maxLen < 0 {
+		return nil, fmt.Errorf("%w: maxLen %d", ErrBadRates, maxLen)
+	}
+	rho := o.rho[i]
+	pmf := make(stats.PMF, maxLen+1)
+	var sum float64
+	for k := 0; k <= maxLen; k++ {
+		pmf[k] = (1 - rho) * math.Pow(rho, float64(k))
+		sum += pmf[k]
+	}
+	for k := range pmf {
+		pmf[k] /= sum
+	}
+	return pmf, nil
+}
+
+// SampleState draws an exact equilibrium state: independent geometric queue
+// lengths.
+func (o *Open) SampleState(r *xrand.RNG) []int {
+	state := make([]int, len(o.rho))
+	for i, rho := range o.rho {
+		if rho == 0 {
+			continue
+		}
+		// Geometric on {0,1,...} with success prob 1-rho via inversion.
+		u := r.Float64()
+		state[i] = int(math.Floor(math.Log(1-u) / math.Log(rho)))
+	}
+	return state
+}
+
+// ExpectedGini estimates the expected wealth Gini at equilibrium by Monte
+// Carlo over exact states.
+func (o *Open) ExpectedGini(draws int, r *xrand.RNG) (float64, error) {
+	if draws <= 0 {
+		return 0, fmt.Errorf("%w: draws=%d", ErrBadRates, draws)
+	}
+	wealth := make([]float64, len(o.rho))
+	var sum float64
+	for d := 0; d < draws; d++ {
+		state := o.SampleState(r)
+		for i, b := range state {
+			wealth[i] = float64(b)
+		}
+		g, err := stats.Gini(wealth)
+		if err != nil {
+			return 0, err
+		}
+		sum += g
+	}
+	return sum / float64(draws), nil
+}

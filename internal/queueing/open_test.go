@@ -1,0 +1,124 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"creditp2p/internal/matrix"
+	"creditp2p/internal/xrand"
+)
+
+func TestNewOpenTandem(t *testing.T) {
+	// Tandem 0 -> 1 -> out; gamma = (1, 0); mu = (2, 4).
+	p, err := matrix.FromRows([][]float64{{0, 1}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOpen(p, []float64{1, 0}, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := o.Utilizations()
+	if math.Abs(rho[0]-0.5) > 1e-12 || math.Abs(rho[1]-0.25) > 1e-12 {
+		t.Errorf("rho = %v, want [0.5 0.25]", rho)
+	}
+	means := o.MeanLengths()
+	// M/M/1: rho/(1-rho).
+	if math.Abs(means[0]-1) > 1e-12 || math.Abs(means[1]-1.0/3) > 1e-9 {
+		t.Errorf("means = %v, want [1 0.333...]", means)
+	}
+}
+
+func TestNewOpenUnstable(t *testing.T) {
+	p, err := matrix.FromRows([][]float64{{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOpen(p, []float64{3}, []float64{2}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("error = %v, want ErrUnstable", err)
+	}
+}
+
+func TestNewOpenFromRhoValidation(t *testing.T) {
+	if _, err := NewOpenFromRho(nil); !errors.Is(err, ErrBadRates) {
+		t.Errorf("empty error = %v", err)
+	}
+	if _, err := NewOpenFromRho([]float64{0.5, 1.0}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("rho=1 error = %v, want ErrUnstable", err)
+	}
+	if _, err := NewOpenFromRho([]float64{-0.1}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("negative rho error = %v, want ErrUnstable", err)
+	}
+}
+
+func TestOpenMarginalGeometric(t *testing.T) {
+	o, err := NewOpenFromRho([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf, err := o.Marginal(0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pmf.Validate(1e-9); err != nil {
+		t.Error(err)
+	}
+	// Geometric(1/2): P(0)=0.5, P(1)=0.25.
+	if math.Abs(pmf[0]-0.5) > 1e-9 || math.Abs(pmf[1]-0.25) > 1e-9 {
+		t.Errorf("pmf head = %v %v, want 0.5 0.25", pmf[0], pmf[1])
+	}
+	if math.Abs(pmf.Mean()-1) > 1e-6 {
+		t.Errorf("mean = %v, want 1", pmf.Mean())
+	}
+}
+
+func TestOpenSampleMatchesMean(t *testing.T) {
+	o, err := NewOpenFromRho([]float64{0.8, 0.2, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(83)
+	const draws = 100000
+	sums := make([]float64, 3)
+	for d := 0; d < draws; d++ {
+		st := o.SampleState(r)
+		for i, b := range st {
+			if b < 0 {
+				t.Fatalf("negative length %d", b)
+			}
+			sums[i] += float64(b)
+		}
+	}
+	want := o.MeanLengths()
+	for i := range sums {
+		got := sums[i] / draws
+		if math.Abs(got-want[i]) > 0.05*(want[i]+1) {
+			t.Errorf("queue %d empirical mean %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestOpenExpectedGiniHigherWithSkewedRho(t *testing.T) {
+	r1 := xrand.New(1)
+	r2 := xrand.New(1)
+	even, err := NewOpenFromRho([]float64{0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := NewOpenFromRho([]float64{0.95, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gEven, err := even.ExpectedGini(3000, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSkewed, err := skewed.ExpectedGini(3000, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gSkewed <= gEven {
+		t.Errorf("skewed rho Gini %v not above even %v", gSkewed, gEven)
+	}
+}

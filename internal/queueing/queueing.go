@@ -1,0 +1,265 @@
+// Package queueing implements the Jackson-network mathematics that the
+// paper maps credit-based P2P markets onto (Sec. III-B): closed
+// (Gordon–Newell) networks with product-form equilibria computed by Buzen's
+// convolution algorithm, exact per-queue wealth marginals, mean-value
+// analysis, exact product-form state sampling, and open Jackson networks for
+// churn.
+//
+// Everything is computed in log space so the normalization constants — which
+// grow like binomial(M+N-1, N-1) — stay finite for the paper's largest
+// configurations (M = 50 000 credits).
+package queueing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"creditp2p/internal/stats"
+)
+
+// ErrBadRates is returned for invalid rate or utilization vectors.
+var ErrBadRates = errors.New("queueing: invalid rates")
+
+// ErrUnstable is returned when an open network has a queue with utilization
+// >= 1 (its wealth grows without bound — the open-network analogue of
+// condensation).
+var ErrUnstable = errors.New("queueing: unstable queue")
+
+// ErrTooLarge is returned when a request would require an unreasonable
+// amount of memory.
+var ErrTooLarge = errors.New("queueing: problem too large")
+
+// NormalizedUtilizations computes the paper's Eq. (2):
+// u_i = (lambda_i/mu_i) / max_j(lambda_j/mu_j), each in (0, 1].
+// lambda are equilibrium credit income rates and mu maximum spending rates.
+func NormalizedUtilizations(lambda, mu []float64) ([]float64, error) {
+	if len(lambda) != len(mu) || len(lambda) == 0 {
+		return nil, fmt.Errorf("%w: lambda %d, mu %d", ErrBadRates, len(lambda), len(mu))
+	}
+	rho := make([]float64, len(lambda))
+	maxRho := 0.0
+	for i := range lambda {
+		if lambda[i] < 0 || mu[i] <= 0 || math.IsNaN(lambda[i]) || math.IsNaN(mu[i]) {
+			return nil, fmt.Errorf("%w: lambda[%d]=%v mu[%d]=%v", ErrBadRates, i, lambda[i], i, mu[i])
+		}
+		rho[i] = lambda[i] / mu[i]
+		if rho[i] > maxRho {
+			maxRho = rho[i]
+		}
+	}
+	if maxRho == 0 {
+		return nil, fmt.Errorf("%w: all utilizations zero", ErrBadRates)
+	}
+	for i := range rho {
+		rho[i] /= maxRho
+	}
+	return rho, nil
+}
+
+// logAddExp returns log(exp(a) + exp(b)) stably.
+func logAddExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// Closed is a closed (Gordon–Newell) Jackson network defined by the
+// normalized utilization vector u of its N single-server queues. It is the
+// analytic model of a static P2P credit market: queue i's stationary wealth
+// distribution with M total credits follows the product form of Eq. (3).
+type Closed struct {
+	u    []float64
+	logU []float64
+}
+
+// NewClosed builds the closed network. Utilizations must lie in (0, 1] with
+// at least one equal to 1 (use NormalizedUtilizations); a small tolerance on
+// the maximum is accepted.
+func NewClosed(u []float64) (*Closed, error) {
+	if len(u) == 0 {
+		return nil, fmt.Errorf("%w: empty utilizations", ErrBadRates)
+	}
+	maxU := 0.0
+	for i, v := range u {
+		if v <= 0 || v > 1+1e-9 || math.IsNaN(v) {
+			return nil, fmt.Errorf("%w: u[%d]=%v not in (0,1]", ErrBadRates, i, v)
+		}
+		if v > maxU {
+			maxU = v
+		}
+	}
+	if maxU < 1-1e-6 {
+		return nil, fmt.Errorf("%w: max utilization %v, want 1 (normalize first)", ErrBadRates, maxU)
+	}
+	c := &Closed{u: make([]float64, len(u)), logU: make([]float64, len(u))}
+	copy(c.u, u)
+	for i, v := range c.u {
+		if v > 1 {
+			c.u[i] = 1
+		}
+		c.logU[i] = math.Log(c.u[i])
+	}
+	return c, nil
+}
+
+// N returns the number of queues (peers).
+func (c *Closed) N() int { return len(c.u) }
+
+// Utilizations returns a copy of the normalized utilization vector.
+func (c *Closed) Utilizations() []float64 {
+	out := make([]float64, len(c.u))
+	copy(out, c.u)
+	return out
+}
+
+// LogG computes Buzen's normalization constants in log space:
+// result[m] = log G(m) for m = 0..M, where
+// G(m) = sum over states with m total jobs of prod_i u_i^{b_i}.
+func (c *Closed) LogG(m int) ([]float64, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("%w: negative population %d", ErrBadRates, m)
+	}
+	lg := make([]float64, m+1)
+	for k := 1; k <= m; k++ {
+		lg[k] = math.Inf(-1)
+	}
+	// lg starts as the n=1 column: G_1(k) = u_1^k.
+	for k := 1; k <= m; k++ {
+		lg[k] = float64(k) * c.logU[0]
+	}
+	for n := 1; n < len(c.u); n++ {
+		lu := c.logU[n]
+		for k := 1; k <= m; k++ {
+			lg[k] = logAddExp(lg[k], lu+lg[k-1])
+		}
+	}
+	return lg, nil
+}
+
+// Marginal returns the exact stationary PMF of queue i's length in a
+// network with population m — the true finite-network wealth distribution
+// that the paper's Eq. (6)–(8) approximates. It uses the single-server
+// identity P(B_i >= k) = u_i^k G(m-k)/G(m).
+func (c *Closed) Marginal(i, m int) (stats.PMF, error) {
+	if i < 0 || i >= len(c.u) {
+		return nil, fmt.Errorf("%w: queue %d of %d", ErrBadRates, i, len(c.u))
+	}
+	lg, err := c.LogG(m)
+	if err != nil {
+		return nil, err
+	}
+	return c.marginalFromLogG(i, m, lg), nil
+}
+
+func (c *Closed) marginalFromLogG(i, m int, lg []float64) stats.PMF {
+	pmf := make(stats.PMF, m+1)
+	logGM := lg[m]
+	lu := c.logU[i]
+	for k := 0; k <= m; k++ {
+		// P(B_i = k) = u^k (G(m-k) - u*G(m-k-1)) / G(m); G(-1) = 0.
+		tail := math.Inf(-1)
+		if k < m {
+			tail = lu + lg[m-k-1]
+		}
+		head := lg[m-k]
+		var p float64
+		if tail > head { // numeric noise; probability is ~0
+			p = 0
+		} else if math.IsInf(tail, -1) {
+			p = math.Exp(float64(k)*lu + head - logGM)
+		} else {
+			p = math.Exp(float64(k)*lu + head - logGM + math.Log1p(-math.Exp(tail-head)))
+		}
+		pmf[k] = p
+	}
+	// Normalize away residual rounding.
+	var sum float64
+	for _, v := range pmf {
+		sum += v
+	}
+	if sum > 0 {
+		for k := range pmf {
+			pmf[k] /= sum
+		}
+	}
+	return pmf
+}
+
+// MeanLengths returns the exact expected queue lengths E[B_i] with
+// population m. Their sum equals m (all credits are somewhere).
+func (c *Closed) MeanLengths(m int) ([]float64, error) {
+	lg, err := c.LogG(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(c.u))
+	for i := range c.u {
+		lu := c.logU[i]
+		// E[B_i] = sum_{k=1}^m u_i^k G(m-k)/G(m).
+		var e float64
+		for k := 1; k <= m; k++ {
+			e += math.Exp(float64(k)*lu + lg[m-k] - lg[m])
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// ProbEmpty returns P(B_i = 0) with population m: the bankruptcy
+// probability whose complement drives content-exchange efficiency (Eq. 9).
+func (c *Closed) ProbEmpty(i, m int) (float64, error) {
+	if i < 0 || i >= len(c.u) {
+		return 0, fmt.Errorf("%w: queue %d of %d", ErrBadRates, i, len(c.u))
+	}
+	lg, err := c.LogG(m)
+	if err != nil {
+		return 0, err
+	}
+	// P(B_i = 0) = (G(m) - u_i G(m-1))/G(m).
+	if m == 0 {
+		return 1, nil
+	}
+	tail := c.logU[i] + lg[m-1]
+	if tail >= lg[m] {
+		return 0, nil
+	}
+	return -math.Expm1(tail - lg[m]), nil
+}
+
+// Throughputs returns the per-queue credit departure rates at equilibrium
+// for population m, relative to the queue service rates: queue i departs at
+// rate mu_i * P(B_i > 0). Callers supply mu; the busy probabilities come
+// from the exact product form.
+func (c *Closed) Throughputs(mu []float64, m int) ([]float64, error) {
+	if len(mu) != len(c.u) {
+		return nil, fmt.Errorf("%w: mu %d, queues %d", ErrBadRates, len(mu), len(c.u))
+	}
+	lg, err := c.LogG(m)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(c.u))
+	for i, rate := range mu {
+		if rate < 0 {
+			return nil, fmt.Errorf("%w: mu[%d]=%v", ErrBadRates, i, rate)
+		}
+		if m == 0 {
+			continue
+		}
+		tail := c.logU[i] + lg[m-1]
+		busy := math.Exp(tail - lg[m])
+		if busy > 1 {
+			busy = 1
+		}
+		out[i] = rate * busy
+	}
+	return out, nil
+}

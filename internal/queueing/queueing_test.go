@@ -1,0 +1,508 @@
+package queueing
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"creditp2p/internal/stats"
+	"creditp2p/internal/xrand"
+)
+
+func mustClosed(t *testing.T, u []float64) *Closed {
+	t.Helper()
+	c, err := NewClosed(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// bruteMarginal enumerates all states of a small closed network and returns
+// the exact marginal of queue i — ground truth for the Buzen identities.
+func bruteMarginal(u []float64, i, m int) stats.PMF {
+	n := len(u)
+	pmf := make(stats.PMF, m+1)
+	var z float64
+	var rec func(q, left int, weight float64, bi int)
+	rec = func(q, left int, weight float64, bi int) {
+		if q == n-1 {
+			w := weight * math.Pow(u[q], float64(left))
+			b := bi
+			if q == i {
+				b = left
+			}
+			z += w
+			pmf[b] += w
+			return
+		}
+		for k := 0; k <= left; k++ {
+			b := bi
+			if q == i {
+				b = k
+			}
+			rec(q+1, left-k, weight*math.Pow(u[q], float64(k)), b)
+		}
+	}
+	rec(0, m, 1, 0)
+	for k := range pmf {
+		pmf[k] /= z
+	}
+	return pmf
+}
+
+func TestNormalizedUtilizations(t *testing.T) {
+	u, err := NormalizedUtilizations([]float64{2, 1, 4}, []float64{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 0.25, 1}
+	for i := range want {
+		if math.Abs(u[i]-want[i]) > 1e-12 {
+			t.Errorf("u = %v, want %v", u, want)
+			break
+		}
+	}
+}
+
+func TestNormalizedUtilizationsErrors(t *testing.T) {
+	tests := []struct {
+		name       string
+		lambda, mu []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []float64{1}, []float64{1, 1}},
+		{"zero-mu", []float64{1}, []float64{0}},
+		{"negative-lambda", []float64{-1}, []float64{1}},
+		{"all-zero", []float64{0, 0}, []float64{1, 1}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NormalizedUtilizations(tc.lambda, tc.mu); !errors.Is(err, ErrBadRates) {
+				t.Errorf("error = %v, want ErrBadRates", err)
+			}
+		})
+	}
+}
+
+func TestNewClosedValidation(t *testing.T) {
+	if _, err := NewClosed(nil); err == nil {
+		t.Error("empty utilizations accepted")
+	}
+	if _, err := NewClosed([]float64{0.5, 0.2}); err == nil {
+		t.Error("unnormalized utilizations accepted (max < 1)")
+	}
+	if _, err := NewClosed([]float64{1, 0}); err == nil {
+		t.Error("zero utilization accepted")
+	}
+	if _, err := NewClosed([]float64{1, 1.5}); err == nil {
+		t.Error("utilization above 1 accepted")
+	}
+}
+
+func TestLogGSymmetricBinomial(t *testing.T) {
+	// Symmetric u=1: G(m) counts compositions, binomial(m+n-1, n-1).
+	c := mustClosed(t, []float64{1, 1, 1})
+	lg, err := c.LogG(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G(4) with n=3: C(6,2) = 15.
+	if got := math.Exp(lg[4]); math.Abs(got-15) > 1e-9 {
+		t.Errorf("G(4) = %v, want 15", got)
+	}
+	if got := math.Exp(lg[0]); math.Abs(got-1) > 1e-12 {
+		t.Errorf("G(0) = %v, want 1", got)
+	}
+}
+
+func TestMarginalMatchesBruteForce(t *testing.T) {
+	tests := []struct {
+		name string
+		u    []float64
+		m    int
+	}{
+		{"symmetric", []float64{1, 1, 1}, 6},
+		{"asymmetric", []float64{1, 0.5, 0.25}, 5},
+		{"two-queues", []float64{1, 0.7}, 8},
+		{"four-queues", []float64{0.3, 1, 0.9, 0.6}, 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustClosed(t, tc.u)
+			for i := range tc.u {
+				got, err := c.Marginal(i, tc.m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteMarginal(tc.u, i, tc.m)
+				for k := 0; k <= tc.m; k++ {
+					if math.Abs(got[k]-want[k]) > 1e-9 {
+						t.Errorf("queue %d P(B=%d) = %v, brute force %v", i, k, got[k], want[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMarginalIsValidPMF(t *testing.T) {
+	c := mustClosed(t, []float64{1, 0.8, 0.6, 0.4})
+	pmf, err := c.Marginal(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pmf.Validate(1e-9); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanLengthsSumToPopulation(t *testing.T) {
+	// Credit conservation: expected wealths sum to the total credits M.
+	tests := []struct {
+		name string
+		u    []float64
+		m    int
+	}{
+		{"symmetric", []float64{1, 1, 1, 1}, 40},
+		{"asymmetric", []float64{1, 0.9, 0.5, 0.2, 0.7}, 25},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustClosed(t, tc.u)
+			means, err := c.MeanLengths(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum float64
+			for _, v := range means {
+				sum += v
+			}
+			if math.Abs(sum-float64(tc.m)) > 1e-6 {
+				t.Errorf("sum of means = %v, want %d", sum, tc.m)
+			}
+		})
+	}
+}
+
+func TestSymmetricMeansEqual(t *testing.T) {
+	c := mustClosed(t, []float64{1, 1, 1, 1, 1})
+	means, err := c.MeanLengths(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range means {
+		if math.Abs(v-7) > 1e-8 {
+			t.Errorf("mean[%d] = %v, want 7", i, v)
+		}
+	}
+}
+
+func TestHighUtilizationQueueHoldsMoreWealth(t *testing.T) {
+	// The condensation mechanism: wealth parks on high-utilization peers.
+	c := mustClosed(t, []float64{1, 0.5, 0.5, 0.5})
+	means, err := c.MeanLengths(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if means[0] < 10*means[1] {
+		t.Errorf("hub mean %v not ≫ others %v with c=25", means[0], means[1])
+	}
+}
+
+func TestProbEmpty(t *testing.T) {
+	c := mustClosed(t, []float64{1, 1})
+	// m=1, n=2 symmetric: states (1,0), (0,1); P(B_0=0) = 1/2.
+	p, err := c.ProbEmpty(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("ProbEmpty = %v, want 0.5", p)
+	}
+	// m=0: always empty.
+	p, err = c.ProbEmpty(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("ProbEmpty(m=0) = %v, want 1", p)
+	}
+}
+
+func TestProbEmptyDecreasesWithWealth(t *testing.T) {
+	// More credits per peer => lower bankruptcy probability (Eq. 9 trend).
+	c := mustClosed(t, []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1})
+	prev := 1.0
+	for _, m := range []int{5, 10, 20, 40, 80} {
+		p, err := c.ProbEmpty(0, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Errorf("ProbEmpty(m=%d) = %v, not decreasing (prev %v)", m, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestThroughputsBalance(t *testing.T) {
+	// With symmetric u and equal mu, throughput = mu * P(busy), equal across
+	// queues and below mu.
+	c := mustClosed(t, []float64{1, 1, 1})
+	mu := []float64{2, 2, 2}
+	th, err := c.Throughputs(mu, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(th); i++ {
+		if math.Abs(th[i]-th[0]) > 1e-9 {
+			t.Errorf("throughputs unequal: %v", th)
+		}
+	}
+	if th[0] <= 0 || th[0] >= 2 {
+		t.Errorf("throughput %v outside (0, mu)", th[0])
+	}
+}
+
+func TestMVAAgreesWithBuzen(t *testing.T) {
+	// Independent algorithms must produce identical mean queue lengths.
+	tests := []struct {
+		name string
+		v    []float64
+		mu   []float64
+		m    int
+	}{
+		{"symmetric", []float64{1, 1, 1}, []float64{1, 1, 1}, 12},
+		{"asym-rates", []float64{1, 1, 1}, []float64{1, 2, 4}, 20},
+		{"asym-visits", []float64{3, 2, 1, 1}, []float64{2, 2, 2, 2}, 15},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := MVA(tc.v, tc.mu, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Build the equivalent closed network: u_i ∝ v_i/mu_i.
+			lambda := tc.v
+			u, err := NormalizedUtilizations(lambda, tc.mu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := mustClosed(t, u)
+			means, err := c.MeanLengths(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range means {
+				if math.Abs(means[i]-res.MeanLengths[i]) > 1e-6 {
+					t.Errorf("queue %d: Buzen %v vs MVA %v", i, means[i], res.MeanLengths[i])
+				}
+			}
+		})
+	}
+}
+
+func TestMVAThroughputConservation(t *testing.T) {
+	res, err := MVA([]float64{2, 1}, []float64{1, 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean lengths sum to population.
+	if s := res.MeanLengths[0] + res.MeanLengths[1]; math.Abs(s-10) > 1e-9 {
+		t.Errorf("lengths sum %v, want 10", s)
+	}
+	// Throughput ratio matches visit ratio.
+	if r := res.Throughputs[0] / res.Throughputs[1]; math.Abs(r-2) > 1e-9 {
+		t.Errorf("throughput ratio %v, want 2", r)
+	}
+}
+
+func TestMVAValidation(t *testing.T) {
+	if _, err := MVA(nil, nil, 5); !errors.Is(err, ErrBadRates) {
+		t.Errorf("error = %v, want ErrBadRates", err)
+	}
+	if _, err := MVA([]float64{1}, []float64{0}, 5); !errors.Is(err, ErrBadRates) {
+		t.Errorf("zero mu error = %v, want ErrBadRates", err)
+	}
+	if _, err := MVA([]float64{1}, []float64{1}, -1); !errors.Is(err, ErrBadRates) {
+		t.Errorf("negative population error = %v, want ErrBadRates", err)
+	}
+}
+
+func TestSamplerSymmetricExactness(t *testing.T) {
+	// Composition sampler: sampled marginal must match the exact marginal.
+	c := mustClosed(t, []float64{1, 1, 1})
+	s, err := c.NewSampler(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Marginal(0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(61)
+	counts := make([]float64, 7)
+	const draws = 200000
+	for d := 0; d < draws; d++ {
+		state := s.Sample(r)
+		var sum int
+		for _, b := range state {
+			sum += b
+		}
+		if sum != 6 {
+			t.Fatalf("state %v does not sum to 6", state)
+		}
+		counts[state[0]]++
+	}
+	for k := range counts {
+		got := counts[k] / draws
+		if math.Abs(got-want[k]) > 0.005 {
+			t.Errorf("P(B=%d) sampled %v, exact %v", k, got, want[k])
+		}
+	}
+}
+
+func TestSamplerAsymmetricExactness(t *testing.T) {
+	u := []float64{1, 0.4, 0.8}
+	c := mustClosed(t, u)
+	s, err := c.NewSampler(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(71)
+	const draws = 200000
+	counts := make([][]float64, len(u))
+	for i := range counts {
+		counts[i] = make([]float64, 6)
+	}
+	for d := 0; d < draws; d++ {
+		state := s.Sample(r)
+		var sum int
+		for i, b := range state {
+			counts[i][b]++
+			sum += b
+		}
+		if sum != 5 {
+			t.Fatalf("state %v does not sum to 5", state)
+		}
+	}
+	for i := range u {
+		want, err := c.Marginal(i, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= 5; k++ {
+			got := counts[i][k] / draws
+			if math.Abs(got-want[k]) > 0.006 {
+				t.Errorf("queue %d P(B=%d) sampled %v, exact %v", i, k, got, want[k])
+			}
+		}
+	}
+}
+
+func TestSamplerTooLarge(t *testing.T) {
+	u := make([]float64, 10000)
+	for i := range u {
+		u[i] = 0.5
+	}
+	u[0] = 1
+	c := mustClosed(t, u)
+	if _, err := c.NewSampler(10_000_000); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSampleMeanGini(t *testing.T) {
+	// Symmetric network, large-ish wealth: Gini near (c+1)/(2c+1) for the
+	// asymptotically geometric marginal; for c=5 expect roughly 0.5±0.1.
+	u := make([]float64, 50)
+	for i := range u {
+		u[i] = 1
+	}
+	c := mustClosed(t, u)
+	s, err := c.NewSampler(250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.SampleMeanGini(200, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 0.4 || g > 0.62 {
+		t.Errorf("symmetric equilibrium Gini = %v, want ~0.5", g)
+	}
+}
+
+func TestSamplerStateSumsProperty(t *testing.T) {
+	f := func(seed int64, mSeed, nSeed uint8) bool {
+		n := int(nSeed%6) + 2
+		m := int(mSeed % 40)
+		u := make([]float64, n)
+		r := xrand.New(seed)
+		for i := range u {
+			u[i] = 0.2 + 0.8*r.Float64()
+		}
+		u[r.Intn(n)] = 1
+		c, err := NewClosed(u)
+		if err != nil {
+			return false
+		}
+		s, err := c.NewSampler(m)
+		if err != nil {
+			return false
+		}
+		for d := 0; d < 20; d++ {
+			state := s.Sample(r)
+			sum := 0
+			for _, b := range state {
+				if b < 0 {
+					return false
+				}
+				sum += b
+			}
+			if sum != m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLogG(b *testing.B) {
+	u := make([]float64, 100)
+	for i := range u {
+		u[i] = 0.5 + 0.005*float64(i)
+	}
+	u[99] = 1
+	c, err := NewClosed(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LogG(2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMVA(b *testing.B) {
+	n := 100
+	v := make([]float64, n)
+	mu := make([]float64, n)
+	for i := range v {
+		v[i] = 1 + float64(i%7)
+		mu[i] = 1 + float64(i%3)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MVA(v, mu, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"creditp2p/internal/stats"
+	"creditp2p/internal/xrand"
+)
+
+// maxTableEntries bounds the prefix-G table used by the general sampler
+// (about 400 MB of float64 at the limit).
+const maxTableEntries = 50_000_000
+
+// Sampler draws exact states (B_1, ..., B_N) from the closed network's
+// product-form equilibrium distribution Q of Eq. (3). Building one costs
+// O(N*M) time and memory for asymmetric utilizations; symmetric networks
+// (all u_i = 1) use a direct O(N log N)-per-draw combinatorial sampler with
+// no table at all.
+type Sampler struct {
+	c         *Closed
+	m         int
+	symmetric bool
+	// prefix[n][k] = log G_{1..n}(k), for n = 1..N (index 0 unused).
+	prefix [][]float64
+}
+
+// NewSampler prepares an exact equilibrium sampler for population m.
+func (c *Closed) NewSampler(m int) (*Sampler, error) {
+	if m < 0 {
+		return nil, fmt.Errorf("%w: population %d", ErrBadRates, m)
+	}
+	symmetric := true
+	for _, v := range c.u {
+		if v != 1 {
+			symmetric = false
+			break
+		}
+	}
+	s := &Sampler{c: c, m: m, symmetric: symmetric}
+	if symmetric {
+		return s, nil
+	}
+	n := len(c.u)
+	if int64(n)*int64(m+1) > maxTableEntries {
+		return nil, fmt.Errorf("%w: sampler table %dx%d", ErrTooLarge, n, m+1)
+	}
+	// prefix[n] built by the same convolution as LogG, retaining columns.
+	prefix := make([][]float64, n+1)
+	col := make([]float64, m+1)
+	for k := 1; k <= m; k++ {
+		col[k] = float64(k) * c.logU[0]
+	}
+	prefix[1] = append([]float64(nil), col...)
+	for q := 1; q < n; q++ {
+		lu := c.logU[q]
+		for k := 1; k <= m; k++ {
+			col[k] = logAddExp(col[k], lu+col[k-1])
+		}
+		prefix[q+1] = append([]float64(nil), col...)
+	}
+	s.prefix = prefix
+	return s, nil
+}
+
+// Sample draws one exact state; the returned slice has one wealth per queue
+// and sums to the population m.
+func (s *Sampler) Sample(r *xrand.RNG) []int {
+	if s.symmetric {
+		return sampleComposition(s.m, len(s.c.u), r)
+	}
+	state := make([]int, len(s.c.u))
+	remaining := s.m
+	for q := len(s.c.u); q >= 2 && remaining > 0; q-- {
+		// P(B_q = k | prefix population remaining) =
+		//   u_q^k * G_{q-1}(remaining-k) / G_q(remaining).
+		lu := s.c.logU[q-1]
+		logZ := s.prefix[q][remaining]
+		u := r.Float64()
+		var acc float64
+		k := 0
+		for ; k < remaining; k++ {
+			p := math.Exp(float64(k)*lu + s.prefix[q-1][remaining-k] - logZ)
+			acc += p
+			if u < acc {
+				break
+			}
+		}
+		state[q-1] = k
+		remaining -= k
+	}
+	state[0] = remaining
+	return state
+}
+
+// sampleComposition draws a uniformly random composition of m into n
+// non-negative parts — the exact symmetric product-form equilibrium (every
+// state equally likely). It picks n-1 distinct cut positions among m+n-1
+// slots (stars and bars) with Floyd's combination sampling.
+func sampleComposition(m, n int, r *xrand.RNG) []int {
+	state := make([]int, n)
+	if n == 1 {
+		state[0] = m
+		return state
+	}
+	total := m + n - 1
+	k := n - 1
+	chosen := make(map[int]struct{}, k)
+	// Floyd's algorithm: uniform k-subset of {0, ..., total-1}.
+	for j := total - k; j < total; j++ {
+		t := r.Intn(j + 1)
+		if _, dup := chosen[t]; dup {
+			chosen[j] = struct{}{}
+		} else {
+			chosen[t] = struct{}{}
+		}
+	}
+	cuts := make([]int, 0, k)
+	for v := range chosen {
+		cuts = append(cuts, v)
+	}
+	sort.Ints(cuts)
+	prev := -1
+	for i, cut := range cuts {
+		state[i] = cut - prev - 1
+		prev = cut
+	}
+	state[n-1] = total - 1 - prev
+	return state
+}
+
+// SampleMeanGini estimates the expected Gini index of the equilibrium
+// wealth distribution by averaging the sample Gini over draws — the
+// quantity the paper's finite-network analysis (Sec. V-B2, Fig. 3) tracks.
+func (s *Sampler) SampleMeanGini(draws int, r *xrand.RNG) (float64, error) {
+	if draws <= 0 {
+		return 0, fmt.Errorf("%w: draws=%d", ErrBadRates, draws)
+	}
+	var sum float64
+	wealth := make([]float64, len(s.c.u))
+	for d := 0; d < draws; d++ {
+		state := s.Sample(r)
+		for i, b := range state {
+			wealth[i] = float64(b)
+		}
+		g, err := stats.Gini(wealth)
+		if err != nil {
+			return 0, err
+		}
+		sum += g
+	}
+	return sum / float64(draws), nil
+}

@@ -1,0 +1,227 @@
+// Package stats implements the inequality and distribution statistics the
+// paper uses to quantify wealth condensation: the Gini index, Lorenz curves,
+// histograms and summary statistics, both over samples (simulated wealth
+// vectors) and over probability mass functions (the analytic marginals of
+// Sec. V).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic is requested over no data.
+var ErrEmpty = errors.New("stats: empty data")
+
+// ErrNegative is returned when a wealth statistic receives negative values;
+// Gini and Lorenz are defined here for non-negative quantities (credits).
+var ErrNegative = errors.New("stats: negative value")
+
+// Gini returns the Gini index of the sample in [0, 1]: 0 is perfect
+// equality, values near 1 indicate extreme inequality (Sec. III-A). The
+// paper uses it as the degree-of-condensation metric throughout Sec. V–VI.
+//
+// An all-zero sample is perfectly equal and yields 0. Negative values are an
+// error. The input is not modified.
+func Gini(values []float64) (float64, error) {
+	n := len(values)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		return 0, fmt.Errorf("%w: %v", ErrNegative, sorted[0])
+	}
+	var total, weighted float64
+	for i, v := range sorted {
+		total += v
+		weighted += float64(2*(i+1)-n-1) * v
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return weighted / (float64(n) * total), nil
+}
+
+// GiniInts is Gini over integer credit balances.
+func GiniInts(values []int64) (float64, error) {
+	f := make([]float64, len(values))
+	for i, v := range values {
+		f[i] = float64(v)
+	}
+	return Gini(f)
+}
+
+// LorenzPoint is one point of a Lorenz curve: the bottom PopShare fraction
+// of the population holds the WealthShare fraction of total wealth.
+type LorenzPoint struct {
+	PopShare    float64
+	WealthShare float64
+}
+
+// Lorenz returns the Lorenz curve of the sample as n+1 points from (0,0) to
+// (1,1), population sorted by increasing wealth (Sec. V-B1, Fig. 2). The
+// input is not modified.
+func Lorenz(values []float64) ([]LorenzPoint, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if sorted[0] < 0 {
+		return nil, fmt.Errorf("%w: %v", ErrNegative, sorted[0])
+	}
+	var total float64
+	for _, v := range sorted {
+		total += v
+	}
+	points := make([]LorenzPoint, 0, n+1)
+	points = append(points, LorenzPoint{})
+	var cum float64
+	for i, v := range sorted {
+		cum += v
+		share := 0.0
+		if total > 0 {
+			share = cum / total
+		} else {
+			share = float64(i+1) / float64(n) // equal shares of nothing
+		}
+		points = append(points, LorenzPoint{
+			PopShare:    float64(i+1) / float64(n),
+			WealthShare: share,
+		})
+	}
+	return points, nil
+}
+
+// GiniFromLorenz integrates a Lorenz curve with the trapezoid rule to get
+// the Gini index: the ratio of the area between the equality line and the
+// curve to the total area under the equality line (Sec. V-B2).
+func GiniFromLorenz(points []LorenzPoint) (float64, error) {
+	if len(points) < 2 {
+		return 0, ErrEmpty
+	}
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].PopShare - points[i-1].PopShare
+		if dx < 0 {
+			return 0, fmt.Errorf("stats: Lorenz points not sorted at index %d", i)
+		}
+		area += dx * (points[i].WealthShare + points[i-1].WealthShare) / 2
+	}
+	return 1 - 2*area, nil
+}
+
+// PMF is a probability mass function over a non-negative integer support
+// {0, 1, ..., len(P)-1}: P[k] is the probability of value k. The analytic
+// wealth marginals of Sec. V (Eq. 6–8) are represented as PMFs.
+type PMF []float64
+
+// Validate checks that the PMF is non-negative and sums to 1 within tol.
+func (p PMF) Validate(tol float64) error {
+	if len(p) == 0 {
+		return ErrEmpty
+	}
+	var sum float64
+	for k, v := range p {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("stats: invalid probability %v at %d", v, k)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > tol {
+		return fmt.Errorf("stats: pmf sums to %v, want 1±%v", sum, tol)
+	}
+	return nil
+}
+
+// Mean returns the expectation of the PMF.
+func (p PMF) Mean() float64 {
+	var m float64
+	for k, v := range p {
+		m += float64(k) * v
+	}
+	return m
+}
+
+// Variance returns the variance of the PMF.
+func (p PMF) Variance() float64 {
+	m := p.Mean()
+	var s float64
+	for k, v := range p {
+		d := float64(k) - m
+		s += d * d * v
+	}
+	return s
+}
+
+// AtZero returns P{X = 0}; the paper's content-exchange efficiency is
+// mu_i*(1 - Q{B_i=0}) (Eq. 9).
+func (p PMF) AtZero() float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// GiniFromPMF computes the Gini index of a distribution given as a PMF in
+// O(len(p)) using the discrete Lorenz curve. It treats the distribution as
+// the wealth distribution of an infinite population.
+func GiniFromPMF(p PMF) (float64, error) {
+	if err := p.Validate(1e-6); err != nil {
+		return 0, err
+	}
+	mean := p.Mean()
+	if mean == 0 {
+		return 0, nil
+	}
+	// G = 1 - 2*area under the Lorenz curve; each support value k with mass
+	// prob contributes a trapezoid of width prob between the cumulative
+	// wealth shares before and after it.
+	var gini, cumW float64
+	for k, prob := range p {
+		if prob == 0 {
+			continue
+		}
+		nextW := cumW + float64(k)*prob/mean
+		gini += prob * (cumW + nextW)
+		cumW = nextW
+	}
+	return 1 - gini, nil
+}
+
+// LorenzFromPMF returns the Lorenz curve of a PMF, one point per support
+// value with positive mass, from (0,0) to (1,1). Fig. 2 plots these curves
+// for the Eq. (8) marginal.
+func LorenzFromPMF(p PMF) ([]LorenzPoint, error) {
+	if err := p.Validate(1e-6); err != nil {
+		return nil, err
+	}
+	mean := p.Mean()
+	points := make([]LorenzPoint, 0, len(p)+1)
+	points = append(points, LorenzPoint{})
+	var cumP, cumW float64
+	for k, prob := range p {
+		if prob == 0 {
+			continue
+		}
+		cumP += prob
+		if mean > 0 {
+			cumW += float64(k) * prob / mean
+		} else {
+			cumW = cumP
+		}
+		points = append(points, LorenzPoint{PopShare: cumP, WealthShare: math.Min(cumW, 1)})
+	}
+	last := points[len(points)-1]
+	if last.PopShare < 1 || last.WealthShare < 1 {
+		points = append(points, LorenzPoint{PopShare: 1, WealthShare: 1})
+	}
+	return points, nil
+}

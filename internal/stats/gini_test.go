@@ -1,0 +1,314 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniKnownValues(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		want   float64
+		tol    float64
+	}{
+		{"perfect-equality", []float64{5, 5, 5, 5}, 0, 1e-12},
+		{"single-value", []float64{42}, 0, 1e-12},
+		{"all-zero", []float64{0, 0, 0}, 0, 1e-12},
+		// One peer holds everything among n=4: G = (n-1)/n.
+		{"total-condensation", []float64{0, 0, 0, 100}, 0.75, 1e-12},
+		// {0,1}: G = 0.5 exactly.
+		{"two-point", []float64{0, 1}, 0.5, 1e-12},
+		// Classic textbook case {1,2,3,4,5}: G = 4/15.
+		{"arithmetic", []float64{1, 2, 3, 4, 5}, 4.0 / 15.0, 1e-12},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Gini(tc.values)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Errorf("Gini(%v) = %v, want %v", tc.values, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGiniErrors(t *testing.T) {
+	if _, err := Gini(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Gini(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Gini([]float64{1, -2}); !errors.Is(err, ErrNegative) {
+		t.Errorf("Gini with negative error = %v, want ErrNegative", err)
+	}
+}
+
+func TestGiniDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Gini(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestGiniProperties(t *testing.T) {
+	// Bounded in [0,1), scale invariant, permutation invariant.
+	f := func(raw []uint16, scaleSeed uint8) bool {
+		if len(raw) == 0 || len(raw) > 50 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v)
+		}
+		g, err := Gini(values)
+		if err != nil {
+			return false
+		}
+		if g < 0 || g >= 1 {
+			return false
+		}
+		// Scale invariance.
+		scale := 1 + float64(scaleSeed%9)
+		scaled := make([]float64, len(values))
+		for i, v := range values {
+			scaled[i] = v * scale
+		}
+		g2, err := Gini(scaled)
+		if err != nil {
+			return false
+		}
+		if math.Abs(g-g2) > 1e-9 {
+			return false
+		}
+		// Permutation invariance (reverse).
+		rev := make([]float64, len(values))
+		for i, v := range values {
+			rev[len(values)-1-i] = v
+		}
+		g3, err := Gini(rev)
+		if err != nil {
+			return false
+		}
+		return math.Abs(g-g3) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGiniIntsMatchesFloat(t *testing.T) {
+	ints := []int64{0, 5, 10, 85}
+	floats := []float64{0, 5, 10, 85}
+	gi, err := GiniInts(ints)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := Gini(floats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi != gf {
+		t.Errorf("GiniInts = %v, Gini = %v", gi, gf)
+	}
+}
+
+func TestLorenzShape(t *testing.T) {
+	points, err := Lorenz([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d points, want 5", len(points))
+	}
+	first, last := points[0], points[len(points)-1]
+	if first.PopShare != 0 || first.WealthShare != 0 {
+		t.Errorf("first point = %+v, want origin", first)
+	}
+	if math.Abs(last.PopShare-1) > 1e-12 || math.Abs(last.WealthShare-1) > 1e-12 {
+		t.Errorf("last point = %+v, want (1,1)", last)
+	}
+	// Lorenz curves are non-decreasing and convex (below the diagonal).
+	for i := 1; i < len(points); i++ {
+		if points[i].WealthShare < points[i-1].WealthShare-1e-12 {
+			t.Errorf("wealth share decreased at %d", i)
+		}
+		if points[i].WealthShare > points[i].PopShare+1e-12 {
+			t.Errorf("Lorenz above diagonal at %d: %+v", i, points[i])
+		}
+	}
+}
+
+func TestGiniFromLorenzRoundTrip(t *testing.T) {
+	values := []float64{0, 1, 1, 4, 10, 30}
+	direct, err := Gini(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := Lorenz(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaCurve, err := GiniFromLorenz(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct-viaCurve) > 1e-9 {
+		t.Errorf("direct Gini %v != Lorenz-integrated %v", direct, viaCurve)
+	}
+}
+
+func TestGiniFromLorenzErrors(t *testing.T) {
+	if _, err := GiniFromLorenz(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("error = %v, want ErrEmpty", err)
+	}
+	bad := []LorenzPoint{{PopShare: 0.5}, {PopShare: 0.1}}
+	if _, err := GiniFromLorenz(bad); err == nil {
+		t.Error("expected error for unsorted points")
+	}
+}
+
+func TestPMFValidate(t *testing.T) {
+	if err := (PMF{0.5, 0.5}).Validate(1e-9); err != nil {
+		t.Errorf("valid pmf rejected: %v", err)
+	}
+	if err := (PMF{}).Validate(1e-9); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty pmf error = %v, want ErrEmpty", err)
+	}
+	if err := (PMF{0.6, 0.6}).Validate(1e-9); err == nil {
+		t.Error("pmf summing to 1.2 accepted")
+	}
+	if err := (PMF{1.5, -0.5}).Validate(1e-9); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestPMFMoments(t *testing.T) {
+	// Fair coin on {0,1}: mean 0.5, variance 0.25.
+	p := PMF{0.5, 0.5}
+	if m := p.Mean(); math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("mean = %v", m)
+	}
+	if v := p.Variance(); math.Abs(v-0.25) > 1e-12 {
+		t.Errorf("variance = %v", v)
+	}
+	if z := p.AtZero(); z != 0.5 {
+		t.Errorf("AtZero = %v", z)
+	}
+}
+
+func TestGiniFromPMFKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		p    PMF
+		want float64
+		tol  float64
+	}{
+		// Degenerate at k=3: perfect equality.
+		{"point-mass", PMF{0, 0, 0, 1}, 0, 1e-12},
+		// Two-point {0 w.p. 1/2, 1 w.p. 1/2}: G = 1/2.
+		{"coin", PMF{0.5, 0.5}, 0.5, 1e-12},
+		// Uniform on {0,1,2}: mean 1; G = E|X-Y|/(2mu) = (8/9)/2 = 4/9.
+		{"uniform3", PMF{1.0 / 3, 1.0 / 3, 1.0 / 3}, 4.0 / 9, 1e-12},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := GiniFromPMF(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > tc.tol {
+				t.Errorf("GiniFromPMF = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGiniFromPMFMatchesSampleGini(t *testing.T) {
+	// A large iid sample from the PMF should have nearly the PMF's Gini.
+	p := PMF{0.2, 0.3, 0.1, 0.1, 0.3}
+	want, err := GiniFromPMF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a deterministic sample with exact proportions.
+	const scale = 10000
+	var sample []float64
+	for k, prob := range p {
+		for i := 0; i < int(prob*scale+0.5); i++ {
+			sample = append(sample, float64(k))
+		}
+	}
+	got, err := Gini(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-3 {
+		t.Errorf("sample Gini %v vs pmf Gini %v", got, want)
+	}
+}
+
+func TestLorenzFromPMF(t *testing.T) {
+	p := PMF{0.25, 0.25, 0.25, 0.25}
+	points, err := LorenzFromPMF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := points[len(points)-1]
+	if math.Abs(last.PopShare-1) > 1e-9 || math.Abs(last.WealthShare-1) > 1e-9 {
+		t.Errorf("Lorenz does not end at (1,1): %+v", last)
+	}
+	g1, err := GiniFromLorenz(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GiniFromPMF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g1-g2) > 1e-9 {
+		t.Errorf("Lorenz-integrated Gini %v != direct %v", g1, g2)
+	}
+}
+
+func TestGiniFromPMFGeometricApproachesHalf(t *testing.T) {
+	// The exact closed-Jackson marginal under symmetric utilization is
+	// asymptotically geometric with mean c. A geometric distribution with
+	// mean m has Gini (m+1)/(2m+1), which decreases toward 1/2 from above as
+	// m grows. This anchors the ~0.5 saturation level that the paper's
+	// symmetric-utilization simulations stabilize around.
+	build := func(mean float64) PMF {
+		q := 1 / (mean + 1) // success prob so that E = mean
+		p := make(PMF, int(mean*60))
+		for k := range p {
+			p[k] = q * math.Pow(1-q, float64(k))
+		}
+		// Renormalize the truncation tail.
+		var s float64
+		for _, v := range p {
+			s += v
+		}
+		for k := range p {
+			p[k] /= s
+		}
+		return p
+	}
+	for _, mean := range []float64{5, 50} {
+		g, err := GiniFromPMF(build(mean))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (mean + 1) / (2*mean + 1)
+		if math.Abs(g-want) > 0.005 {
+			t.Errorf("geometric(%v) Gini = %v, want ~%v", mean, g, want)
+		}
+		if g <= 0.5 {
+			t.Errorf("geometric(%v) Gini = %v, want > 0.5", mean, g)
+		}
+	}
+}

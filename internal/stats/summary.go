@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Var    float64 // population variance
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes descriptive statistics. It returns ErrEmpty for an
+// empty sample. The input is not modified.
+func Summarize(values []float64) (Summary, error) {
+	n := len(values)
+	if n == 0 {
+		return Summary{}, ErrEmpty
+	}
+	sorted := make([]float64, n)
+	copy(sorted, values)
+	sort.Float64s(sorted)
+
+	var sum, sumSq float64
+	for _, v := range sorted {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0 // rounding
+	}
+	return Summary{
+		N:      n,
+		Mean:   mean,
+		Var:    variance,
+		Std:    math.Sqrt(variance),
+		Min:    sorted[0],
+		Max:    sorted[n-1],
+		Median: Quantile(sorted, 0.5),
+		P90:    Quantile(sorted, 0.9),
+		P99:    Quantile(sorted, 0.99),
+	}, nil
+}
+
+// Quantile returns the q-quantile (0<=q<=1) of an ascending-sorted sample
+// using linear interpolation between order statistics. It returns NaN for an
+// empty sample.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int64
+	Under    int64 // samples below Lo
+	Over     int64 // samples at or above Hi
+	binWidth float64
+}
+
+// NewHistogram builds a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		Counts:   make([]int64, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	switch {
+	case v < h.Lo:
+		h.Under++
+	case v >= h.Hi:
+		h.Over++
+	default:
+		i := int((v - h.Lo) / h.binWidth)
+		if i >= len(h.Counts) { // guard rounding at the upper edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of in-range observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Density returns the normalized density value of each bin (integrates to 1
+// over [Lo, Hi) when there is no under/overflow). Used to estimate the
+// utilization density f(w) of Eq. (4) from empirical utilizations.
+func (h *Histogram) Density() []float64 {
+	total := h.Total()
+	d := make([]float64, len(h.Counts))
+	if total == 0 {
+		return d
+	}
+	for i, c := range h.Counts {
+		d[i] = float64(c) / (float64(total) * h.binWidth)
+	}
+	return d
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.binWidth
+}
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return h.binWidth }

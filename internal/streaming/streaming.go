@@ -1,0 +1,384 @@
+// Package streaming simulates a mesh-pull P2P live-streaming system with
+// credit-based chunk trading — the protocol-level substrate of the paper's
+// evaluation (Sec. III-A, VI), modeled on UUSee-like systems. A source
+// generates stream chunks and seeds a few peers; peers buy missing window
+// chunks from neighbors that hold them, paying the seller's quoted price;
+// sellers earn credits they can spend on their own downloads.
+//
+// Unlike the queue-granularity market simulator, this model captures the
+// protocol feedback the paper's Fig. 1 relies on: a bankrupt peer cannot
+// buy, soon has nothing fresh to sell, loses its income, and its playback
+// and spending rate collapse — the condensation failure mode in the wild.
+package streaming
+
+import (
+	"errors"
+	"fmt"
+
+	"creditp2p/internal/credit"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/trace"
+	"creditp2p/internal/xrand"
+)
+
+// ErrBadConfig is returned for invalid configurations.
+var ErrBadConfig = errors.New("streaming: invalid config")
+
+// Config describes one streaming-market simulation. Time advances in
+// one-second rounds.
+type Config struct {
+	// Graph is the overlay topology (typically scale-free, mean degree 20).
+	Graph *topology.Graph
+	// StreamRate is the number of chunks the source emits per second.
+	StreamRate int
+	// DelaySeconds is the playback delay: chunk k's deadline is
+	// k/StreamRate + DelaySeconds. The buffer window spans the chunks
+	// between playhead and the live edge.
+	DelaySeconds int
+	// UploadCap and DownloadCap bound per-peer chunks moved per second.
+	UploadCap, DownloadCap int
+	// UploadCapOf optionally overrides UploadCap per peer, modeling
+	// heterogeneous access bandwidth (broadband vs DSL peers) — the
+	// asymmetric-utilization substrate of a realistic swarm. Peers not in
+	// the map use UploadCap.
+	UploadCapOf map[int]int
+	// SourceSeeds is how many randomly chosen peers receive each fresh
+	// chunk directly (and free) from the source.
+	SourceSeeds int
+	// InitialWealth is the per-peer credit endowment c.
+	InitialWealth int64
+	// Pricing quotes per-chunk prices (uniform 1 credit by default).
+	Pricing credit.Pricing
+	// HorizonSeconds is the simulated duration.
+	HorizonSeconds int
+	// MeasureStartSeconds opens the measurement window for spending rates
+	// and continuity; zero means half the horizon.
+	MeasureStartSeconds int
+	// ProbesPerNeighbor bounds how many buffer-map entries a buyer samples
+	// per neighbor each round (limited gossip knowledge); zero means 6.
+	ProbesPerNeighbor int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) validate() error {
+	if c.Graph == nil || c.Graph.NumNodes() < 2 {
+		return fmt.Errorf("%w: need at least 2 peers", ErrBadConfig)
+	}
+	if c.StreamRate < 1 {
+		return fmt.Errorf("%w: stream rate %d", ErrBadConfig, c.StreamRate)
+	}
+	if c.DelaySeconds < 1 {
+		return fmt.Errorf("%w: delay %d", ErrBadConfig, c.DelaySeconds)
+	}
+	if c.UploadCap < 1 || c.DownloadCap < 1 {
+		return fmt.Errorf("%w: caps %d/%d", ErrBadConfig, c.UploadCap, c.DownloadCap)
+	}
+	if c.SourceSeeds < 1 || c.SourceSeeds > c.Graph.NumNodes() {
+		return fmt.Errorf("%w: source seeds %d", ErrBadConfig, c.SourceSeeds)
+	}
+	if c.InitialWealth < 0 {
+		return fmt.Errorf("%w: initial wealth %d", ErrBadConfig, c.InitialWealth)
+	}
+	if c.HorizonSeconds < c.DelaySeconds+2 {
+		return fmt.Errorf("%w: horizon %d too short", ErrBadConfig, c.HorizonSeconds)
+	}
+	if c.Pricing == nil {
+		c.Pricing = credit.UniformPricing{Credits: 1}
+	}
+	if c.MeasureStartSeconds <= 0 || c.MeasureStartSeconds >= c.HorizonSeconds {
+		c.MeasureStartSeconds = c.HorizonSeconds / 2
+	}
+	if c.ProbesPerNeighbor <= 0 {
+		c.ProbesPerNeighbor = 6
+	}
+	return nil
+}
+
+// Result aggregates the outcome of one run.
+type Result struct {
+	// SpendingRate maps peer id to credits spent per second within the
+	// measurement window — Fig. 1's y-axis.
+	SpendingRate map[int]float64
+	// DownloadRate maps peer id to chunks bought per second in the window.
+	DownloadRate map[int]float64
+	// Continuity maps peer id to the fraction of deadline chunks that were
+	// present at playback within the window (streaming quality).
+	Continuity map[int]float64
+	// FinalWealth maps peer id to closing balance.
+	FinalWealth map[int]int64
+	// GiniSpending is the Gini index of SpendingRate — the paper's
+	// condensation indicator for Fig. 1 (0.9 condensed vs 0.1 healthy).
+	GiniSpending float64
+	// GiniWealth is the Gini index of FinalWealth.
+	GiniWealth float64
+	// WealthGini is the wealth-Gini time series (sampled once per 100
+	// rounds).
+	WealthGini *trace.Series
+	// ChunksTraded counts paid peer-to-peer chunk transfers.
+	ChunksTraded uint64
+	// ChunksSeeded counts free source pushes.
+	ChunksSeeded uint64
+	// Stalls counts chunks missed at their playback deadline (window).
+	Stalls uint64
+}
+
+type peer struct {
+	id    int
+	nbrs  []int
+	upCap int
+	have  map[int]bool
+	// haveList mirrors have for deterministic random sampling (buffer-map
+	// probes); evicted entries are pruned lazily.
+	haveList []int
+	upUsed   int
+	downUsed int
+	spent    int64 // credits spent inside the measurement window
+	bought   int   // chunks bought inside the window
+	played   int
+	missed   int
+}
+
+// addChunk records possession of a chunk.
+func (p *peer) addChunk(chunk int) {
+	p.have[chunk] = true
+	p.haveList = append(p.haveList, chunk)
+}
+
+// compact prunes evicted chunks from haveList once staleness dominates.
+func (p *peer) compact() {
+	if len(p.haveList) <= 4*len(p.have)+16 {
+		return
+	}
+	fresh := p.haveList[:0]
+	for _, c := range p.haveList {
+		if p.have[c] {
+			fresh = append(fresh, c)
+		}
+	}
+	p.haveList = fresh
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := xrand.New(cfg.Seed)
+	ledger := credit.NewLedger()
+	ids := cfg.Graph.Nodes()
+	peers := make(map[int]*peer, len(ids))
+	for _, id := range ids {
+		if err := ledger.Open(id, cfg.InitialWealth); err != nil {
+			return nil, err
+		}
+		upCap := cfg.UploadCap
+		if v, ok := cfg.UploadCapOf[id]; ok {
+			if v < 1 {
+				return nil, fmt.Errorf("%w: upload cap %d for peer %d", ErrBadConfig, v, id)
+			}
+			upCap = v
+		}
+		peers[id] = &peer{
+			id:    id,
+			nbrs:  cfg.Graph.Neighbors(id),
+			upCap: upCap,
+			have:  make(map[int]bool),
+		}
+	}
+	res := &Result{
+		SpendingRate: make(map[int]float64, len(ids)),
+		DownloadRate: make(map[int]float64, len(ids)),
+		Continuity:   make(map[int]float64, len(ids)),
+		FinalWealth:  make(map[int]int64, len(ids)),
+		WealthGini:   trace.NewSeries("wealth-gini"),
+	}
+	// Warm start: every peer holds the full pre-roll window (chunk ids
+	// below 0), as if the swarm has already been streaming healthily. A
+	// cold start would stratify income by degree during the initial
+	// scramble — an artifact the paper's long-run measurements exclude.
+	for _, p := range peers {
+		for chunk := -cfg.DelaySeconds * cfg.StreamRate; chunk < 0; chunk++ {
+			p.addChunk(chunk)
+		}
+	}
+	order := make([]int, len(ids))
+	copy(order, ids)
+
+	for t := 0; t < cfg.HorizonSeconds; t++ {
+		inWindow := t >= cfg.MeasureStartSeconds
+
+		// 1. Source emits this second's chunks and seeds each to a few
+		// random peers for free.
+		for k := 0; k < cfg.StreamRate; k++ {
+			chunk := t*cfg.StreamRate + k
+			for s := 0; s < cfg.SourceSeeds; s++ {
+				p := peers[ids[rng.Intn(len(ids))]]
+				if !p.have[chunk] {
+					p.addChunk(chunk)
+					res.ChunksSeeded++
+				}
+			}
+		}
+
+		// 2. Reset per-round capacities; randomize buyer order for fairness.
+		for _, p := range peers {
+			p.upUsed, p.downUsed = 0, 0
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+		// 3. Trading pass: each buyer samples neighbors' buffer maps and
+		// buys useful window chunks (mesh-pull with limited gossip).
+		playhead := (t - cfg.DelaySeconds) * cfg.StreamRate
+		if playhead < 0 {
+			playhead = 0
+		}
+		for _, id := range order {
+			p := peers[id]
+			if len(p.nbrs) == 0 || p.downUsed >= cfg.DownloadCap {
+				continue
+			}
+			balance, err := ledger.Balance(id)
+			if err != nil {
+				return nil, err
+			}
+			// Visit neighbors starting from a random offset, in two sweeps:
+			// idle sellers first (least-loaded request routing, as real
+			// mesh protocols do for load balancing), then anyone with
+			// spare upload capacity.
+			offset := rng.Intn(len(p.nbrs))
+			for sweep := 0; sweep < 2 && p.downUsed < cfg.DownloadCap; sweep++ {
+				for ni := 0; ni < len(p.nbrs) && p.downUsed < cfg.DownloadCap; ni++ {
+					seller := p.nbrs[(offset+ni)%len(p.nbrs)]
+					q, ok := peers[seller]
+					if !ok || len(q.haveList) == 0 {
+						continue
+					}
+					if sweep == 0 && q.upUsed > 0 {
+						continue
+					}
+					for probe := 0; probe < cfg.ProbesPerNeighbor &&
+						p.downUsed < cfg.DownloadCap && q.upUsed < q.upCap; probe++ {
+						// Alternate between the seller's freshest
+						// acquisitions (what a buyer most likely misses)
+						// and uniform window samples.
+						var chunk int
+						if probe%2 == 0 {
+							tail := len(q.haveList)
+							span := tail
+							if span > 4*cfg.StreamRate {
+								span = 4 * cfg.StreamRate
+							}
+							chunk = q.haveList[tail-1-rng.Intn(span)]
+						} else {
+							chunk = q.haveList[rng.Intn(len(q.haveList))]
+						}
+						if !q.have[chunk] || chunk < playhead || p.have[chunk] {
+							continue
+						}
+						price := cfg.Pricing.Price(seller, chunk)
+						if price > balance {
+							continue
+						}
+						if price > 0 {
+							if err := ledger.Transfer(id, seller, price); err != nil {
+								continue
+							}
+							balance -= price
+							if inWindow {
+								p.spent += price
+							}
+						}
+						p.addChunk(chunk)
+						q.upUsed++
+						p.downUsed++
+						if inWindow {
+							p.bought++
+						}
+						res.ChunksTraded++
+					}
+				}
+			}
+		}
+
+		// 4. Playback and eviction: chunks whose deadline passed leave the
+		// window; present means played, absent means a stall. Pre-roll
+		// chunks (negative ids) are evicted like any others.
+		evictBelow := (t + 1 - cfg.DelaySeconds) * cfg.StreamRate
+		for _, p := range peers {
+			for chunk := evictBelow - cfg.StreamRate; chunk < evictBelow; chunk++ {
+				if p.have[chunk] {
+					delete(p.have, chunk)
+					if inWindow {
+						p.played++
+					}
+				} else if inWindow {
+					p.missed++
+					res.Stalls++
+				}
+			}
+			p.compact()
+		}
+
+		// 5. Periodic wealth-Gini sample.
+		if t%100 == 0 {
+			if g, err := wealthGini(ledger, ids); err == nil {
+				res.WealthGini.Add(float64(t), g)
+			}
+		}
+	}
+
+	// Final metrics.
+	window := float64(cfg.HorizonSeconds - cfg.MeasureStartSeconds)
+	spendVec := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		p := peers[id]
+		res.SpendingRate[id] = float64(p.spent) / window
+		res.DownloadRate[id] = float64(p.bought) / window
+		total := p.played + p.missed
+		if total > 0 {
+			res.Continuity[id] = float64(p.played) / float64(total)
+		}
+		b, err := ledger.Balance(id)
+		if err != nil {
+			return nil, err
+		}
+		res.FinalWealth[id] = b
+		spendVec = append(spendVec, res.SpendingRate[id])
+	}
+	if err := ledger.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("streaming: %w", err)
+	}
+	var err error
+	res.GiniSpending, err = stats.Gini(spendVec)
+	if err != nil {
+		return nil, err
+	}
+	res.GiniWealth, err = wealthGini(ledger, ids)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func isNeighbor(sorted []int, id int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if sorted[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(sorted) && sorted[lo] == id
+}
+
+func wealthGini(l *credit.Ledger, ids []int) (float64, error) {
+	v, err := l.BalanceVector(ids)
+	if err != nil {
+		return 0, err
+	}
+	return stats.GiniInts(v)
+}

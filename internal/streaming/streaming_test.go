@@ -1,0 +1,251 @@
+package streaming
+
+import (
+	"errors"
+	"testing"
+
+	"creditp2p/internal/credit"
+	"creditp2p/internal/stats"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/xrand"
+)
+
+func regular(t *testing.T, n, d int, seed int64) *topology.Graph {
+	t.Helper()
+	g, err := topology.RandomRegular(n, d, xrand.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// perSellerPoisson builds the Fig. 1 condensed-case pricing: each seller
+// quotes a flat price drawn once from Poisson(1).
+func perSellerPoisson(g *topology.Graph, seed int64) credit.PerPeerPricing {
+	r := xrand.New(seed)
+	prices := make(map[int]int64, g.NumNodes())
+	for _, id := range g.Nodes() {
+		prices[id] = int64(r.Poisson(1))
+	}
+	return credit.PerPeerPricing{Prices: prices, Default: 1}
+}
+
+func healthyConfig(t *testing.T, horizon int) Config {
+	t.Helper()
+	return Config{
+		Graph:          regular(t, 200, 16, 3),
+		StreamRate:     1,
+		DelaySeconds:   15,
+		UploadCap:      1,
+		DownloadCap:    2,
+		SourceSeeds:    3,
+		InitialWealth:  12,
+		HorizonSeconds: horizon,
+		Seed:           5,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := healthyConfig(t, 100)
+	mutate := []struct {
+		name string
+		fn   func(*Config)
+	}{
+		{"nil-graph", func(c *Config) { c.Graph = nil }},
+		{"zero-rate", func(c *Config) { c.StreamRate = 0 }},
+		{"zero-delay", func(c *Config) { c.DelaySeconds = 0 }},
+		{"zero-upload", func(c *Config) { c.UploadCap = 0 }},
+		{"zero-download", func(c *Config) { c.DownloadCap = 0 }},
+		{"zero-seeds", func(c *Config) { c.SourceSeeds = 0 }},
+		{"negative-wealth", func(c *Config) { c.InitialWealth = -1 }},
+		{"short-horizon", func(c *Config) { c.HorizonSeconds = 5 }},
+		{"bad-peer-cap", func(c *Config) { c.UploadCapOf = map[int]int{0: 0} }},
+	}
+	for _, tc := range mutate {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := good
+			tc.fn(&cfg)
+			if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("error = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestCreditConservation(t *testing.T) {
+	cfg := healthyConfig(t, 300)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, b := range res.FinalWealth {
+		if b < 0 {
+			t.Fatalf("negative balance %d", b)
+		}
+		total += b
+	}
+	if want := int64(200 * 12); total != want {
+		t.Errorf("total credits = %d, want %d", total, want)
+	}
+}
+
+func TestHealthyMarketStreamsWell(t *testing.T) {
+	// The paper's Fig. 1 case 2: c=12, uniform 1 credit/chunk => balanced
+	// spending rates (Gini ~0.1) and good playback.
+	res, err := Run(healthyConfig(t, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GiniSpending > 0.2 {
+		t.Errorf("healthy spending-rate Gini = %v, want < 0.2", res.GiniSpending)
+	}
+	var contSum float64
+	for _, v := range res.Continuity {
+		if v < 0 || v > 1 {
+			t.Fatalf("continuity %v outside [0,1]", v)
+		}
+		contSum += v
+	}
+	if mean := contSum / float64(len(res.Continuity)); mean < 0.8 {
+		t.Errorf("mean continuity = %v, want > 0.8", mean)
+	}
+	if res.ChunksTraded == 0 || res.ChunksSeeded == 0 {
+		t.Error("no trading or seeding happened")
+	}
+}
+
+func TestCondensedMarketSkewsSpending(t *testing.T) {
+	// Fig. 1 case 1: c=200, Poisson-priced sellers => condensed spending
+	// rates, far above the healthy case (paper: 0.9 vs 0.1).
+	cfg := healthyConfig(t, 1500)
+	cfg.InitialWealth = 200
+	cfg.Pricing = perSellerPoisson(cfg.Graph, 11)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := Run(healthyConfig(t, 1500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GiniSpending < healthy.GiniSpending+0.2 {
+		t.Errorf("condensed Gini %v not far above healthy %v", res.GiniSpending, healthy.GiniSpending)
+	}
+	if res.GiniWealth < 0.6 {
+		t.Errorf("condensed wealth Gini = %v, want > 0.6", res.GiniWealth)
+	}
+}
+
+func TestExpensiveSellersGetRich(t *testing.T) {
+	// Per-seller pricing creates income dispersion: the top earners should
+	// be (mostly) the high-price sellers — the condensation mechanism of
+	// Sec. V-C made visible.
+	cfg := healthyConfig(t, 1000)
+	cfg.InitialWealth = 100
+	pricing := perSellerPoisson(cfg.Graph, 13)
+	cfg.Pricing = pricing
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var best int
+	var bestBal int64 = -1
+	for id, b := range res.FinalWealth {
+		if b > bestBal {
+			best, bestBal = id, b
+		}
+	}
+	if price := pricing.Prices[best]; price < 1 {
+		t.Errorf("richest peer %d (balance %d) charges %d, expected an expensive seller",
+			best, bestBal, price)
+	}
+}
+
+func TestUploadCapHeterogeneity(t *testing.T) {
+	// Broadband peers (higher upload cap) earn more and end richer on
+	// average than capped peers.
+	cfg := healthyConfig(t, 1000)
+	cfg.InitialWealth = 50
+	caps := make(map[int]int)
+	r := xrand.New(17)
+	for _, id := range cfg.Graph.Nodes() {
+		if r.Bernoulli(0.2) {
+			caps[id] = 3
+		} else {
+			caps[id] = 1
+		}
+	}
+	cfg.UploadCapOf = caps
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastSum, slowSum float64
+	var fastN, slowN int
+	for id, b := range res.FinalWealth {
+		if caps[id] == 3 {
+			fastSum += float64(b)
+			fastN++
+		} else {
+			slowSum += float64(b)
+			slowN++
+		}
+	}
+	if fastN == 0 || slowN == 0 {
+		t.Fatal("degenerate capacity split")
+	}
+	if fastSum/float64(fastN) <= slowSum/float64(slowN) {
+		t.Errorf("broadband mean wealth %v not above capped %v",
+			fastSum/float64(fastN), slowSum/float64(slowN))
+	}
+}
+
+func TestWealthGiniSeriesRecorded(t *testing.T) {
+	res, err := Run(healthyConfig(t, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WealthGini.Len() < 4 {
+		t.Errorf("wealth-Gini series has %d samples", res.WealthGini.Len())
+	}
+	for _, v := range res.WealthGini.Values {
+		if v < 0 || v >= 1 {
+			t.Errorf("Gini sample %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(healthyConfig(t, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(healthyConfig(t, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ChunksTraded != b.ChunksTraded || a.GiniSpending != b.GiniSpending {
+		t.Errorf("runs differ: traded %d/%d gini %v/%v",
+			a.ChunksTraded, b.ChunksTraded, a.GiniSpending, b.GiniSpending)
+	}
+}
+
+func TestSpendingRateMatchesStreamCost(t *testing.T) {
+	// In the healthy regime every peer pays ~1 credit/chunk at ~1 chunk/s.
+	res, err := Run(healthyConfig(t, 1200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make([]float64, 0, len(res.SpendingRate))
+	for _, v := range res.SpendingRate {
+		rates = append(rates, v)
+	}
+	s, err := stats.Summarize(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean < 0.7 || s.Mean > 1.1 {
+		t.Errorf("mean spending rate = %v, want ~0.9 credits/s", s.Mean)
+	}
+}

@@ -1,0 +1,333 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+
+	"creditp2p/internal/xrand"
+)
+
+// ErrBadParam is returned for invalid generator parameters.
+var ErrBadParam = errors.New("topology: invalid parameter")
+
+// ScaleFreeConfig parameterizes the paper's overlay (Sec. VI): node degrees
+// follow a bounded power law P(D) ∝ D^-Alpha with the lower cutoff chosen so
+// the mean degree matches MeanDegree.
+type ScaleFreeConfig struct {
+	N          int     // number of peers
+	Alpha      float64 // power-law shape; the paper uses 2.5
+	MeanDegree float64 // target average neighbor count; the paper uses 20
+	MaxDegree  int     // degree cap; 0 means N-1
+}
+
+func (c ScaleFreeConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("%w: N=%d", ErrBadParam, c.N)
+	}
+	if c.Alpha <= 0 {
+		return fmt.Errorf("%w: Alpha=%v", ErrBadParam, c.Alpha)
+	}
+	if c.MeanDegree < 1 || c.MeanDegree > float64(c.N-1) {
+		return fmt.Errorf("%w: MeanDegree=%v with N=%d", ErrBadParam, c.MeanDegree, c.N)
+	}
+	return nil
+}
+
+// ScaleFree generates a connected scale-free overlay via the configuration
+// model: a degree sequence is drawn from the bounded power law, stubs are
+// matched uniformly at random (rejecting self-loops and duplicate edges),
+// and any leftover components are stitched together so content can reach
+// every peer.
+func ScaleFree(cfg ScaleFreeConfig, r *xrand.RNG) (*Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	maxDeg := cfg.MaxDegree
+	if maxDeg <= 0 || maxDeg > cfg.N-1 {
+		maxDeg = cfg.N - 1
+	}
+	pl, err := xrand.PowerLawForMean(maxDeg, cfg.Alpha, cfg.MeanDegree)
+	if err != nil {
+		return nil, fmt.Errorf("degree sampler: %w", err)
+	}
+
+	g := NewGraph()
+	degrees := make([]int, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		if err := g.AddNode(i); err != nil {
+			return nil, err
+		}
+		degrees[i] = pl.Sample(r)
+	}
+	// Stub list: node i appears degrees[i] times.
+	var stubs []int
+	for i, d := range degrees {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, i)
+		}
+	}
+	if len(stubs)%2 == 1 {
+		stubs = append(stubs, r.Intn(cfg.N)) // make the stub count even
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+
+	// Pair stubs; re-draw partners a few times on conflicts, then give up on
+	// that pair (slight degree shortfall is acceptable for an overlay).
+	const retries = 20
+	for i := 0; i+1 < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		ok := a != b && !g.HasEdge(a, b)
+		// Swap stub b with a random later stub to retry the match.
+		for attempt := 0; !ok && attempt < retries && i+2 < len(stubs); attempt++ {
+			k := i + 2 + r.Intn(len(stubs)-i-2)
+			stubs[i+1], stubs[k] = stubs[k], stubs[i+1]
+			b = stubs[i+1]
+			ok = a != b && !g.HasEdge(a, b)
+		}
+		if ok {
+			if err := g.AddEdge(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := EnsureConnected(g, r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// RandomRegular generates a connected random d-regular-ish graph by stub
+// matching. It is the symmetric-utilization topology: every peer has the
+// same number of neighbors, so uniform routing yields a doubly stochastic
+// transfer matrix and u = (1,...,1) (Sec. V-C1).
+func RandomRegular(n, d int, r *xrand.RNG) (*Graph, error) {
+	if n < 2 || d < 1 || d >= n {
+		return nil, fmt.Errorf("%w: n=%d d=%d", ErrBadParam, n, d)
+	}
+	if n*d%2 == 1 {
+		return nil, fmt.Errorf("%w: n*d must be even", ErrBadParam)
+	}
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(i); err != nil {
+			return nil, err
+		}
+	}
+	stubs := make([]int, 0, n*d)
+	for i := 0; i < n; i++ {
+		for k := 0; k < d; k++ {
+			stubs = append(stubs, i)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	const retries = 50
+	for i := 0; i+1 < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		ok := a != b && !g.HasEdge(a, b)
+		for attempt := 0; !ok && attempt < retries && i+2 < len(stubs); attempt++ {
+			k := i + 2 + r.Intn(len(stubs)-i-2)
+			stubs[i+1], stubs[k] = stubs[k], stubs[i+1]
+			b = stubs[i+1]
+			ok = a != b && !g.HasEdge(a, b)
+		}
+		if ok {
+			if err := g.AddEdge(a, b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := EnsureConnected(g, r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ErdosRenyi generates a connected G(n, p) random graph with
+// p = meanDegree/(n-1).
+func ErdosRenyi(n int, meanDegree float64, r *xrand.RNG) (*Graph, error) {
+	if n < 2 || meanDegree <= 0 || meanDegree > float64(n-1) {
+		return nil, fmt.Errorf("%w: n=%d meanDegree=%v", ErrBadParam, n, meanDegree)
+	}
+	p := meanDegree / float64(n-1)
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(i); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Bernoulli(p) {
+				if err := g.AddEdge(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := EnsureConnected(g, r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BarabasiAlbert generates a scale-free graph by preferential attachment:
+// each new node connects to m existing nodes with probability proportional
+// to their current degree.
+func BarabasiAlbert(n, m int, r *xrand.RNG) (*Graph, error) {
+	if n < 2 || m < 1 || m >= n {
+		return nil, fmt.Errorf("%w: n=%d m=%d", ErrBadParam, n, m)
+	}
+	g := NewGraph()
+	// Seed clique of m+1 nodes.
+	for i := 0; i <= m; i++ {
+		if err := g.AddNode(i); err != nil {
+			return nil, err
+		}
+		for j := 0; j < i; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Repeated-endpoint list: picking a uniform element is degree-
+	// proportional sampling.
+	var endpoints []int
+	for _, id := range g.Nodes() {
+		for k := 0; k < g.Degree(id); k++ {
+			endpoints = append(endpoints, id)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		if err := g.AddNode(v); err != nil {
+			return nil, err
+		}
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			t := endpoints[r.Intn(len(endpoints))]
+			if t != v && !chosen[t] {
+				chosen[t] = true
+			}
+		}
+		for t := range chosen {
+			if err := g.AddEdge(v, t); err != nil {
+				return nil, err
+			}
+			endpoints = append(endpoints, v, t)
+		}
+	}
+	return g, nil
+}
+
+// Complete generates the complete graph K_n — the topology of the
+// Dandekar-style complete-graph credit models the paper cites.
+func Complete(n int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: n=%d", ErrBadParam, n)
+	}
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(i); err != nil {
+			return nil, err
+		}
+		for j := 0; j < i; j++ {
+			if err := g.AddEdge(i, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Ring generates a ring lattice where each node links to its k nearest
+// neighbors on each side (a 2k-regular connected graph).
+func Ring(n, k int, r *xrand.RNG) (*Graph, error) {
+	if n < 3 || k < 1 || 2*k >= n {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrBadParam, n, k)
+	}
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(i); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		for d := 1; d <= k; d++ {
+			j := (i + d) % n
+			if !g.HasEdge(i, j) {
+				if err := g.AddEdge(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// EnsureConnected links the components of g (if more than one) by adding a
+// random edge between each pair of consecutive components.
+func EnsureConnected(g *Graph, r *xrand.RNG) error {
+	comps := g.Components()
+	for i := 1; i < len(comps); i++ {
+		a := comps[i-1][r.Intn(len(comps[i-1]))]
+		b := comps[i][r.Intn(len(comps[i]))]
+		if err := g.AddEdge(a, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AttachPreferential joins node id to the graph with m edges to existing
+// nodes chosen with probability proportional to degree+1 (peer join under
+// churn keeps the overlay scale-free-ish).
+func AttachPreferential(g *Graph, id, m int, r *xrand.RNG) error {
+	if err := g.AddNode(id); err != nil {
+		return err
+	}
+	return attach(g, id, m, r, true)
+}
+
+// AttachRandom joins node id with m edges to uniformly random existing
+// nodes.
+func AttachRandom(g *Graph, id, m int, r *xrand.RNG) error {
+	if err := g.AddNode(id); err != nil {
+		return err
+	}
+	return attach(g, id, m, r, false)
+}
+
+func attach(g *Graph, id, m int, r *xrand.RNG, preferential bool) error {
+	candidates := make([]int, 0, g.NumNodes()-1)
+	weights := make([]float64, 0, g.NumNodes()-1)
+	for _, v := range g.Nodes() {
+		if v == id {
+			continue
+		}
+		candidates = append(candidates, v)
+		if preferential {
+			weights = append(weights, float64(g.Degree(v)+1))
+		} else {
+			weights = append(weights, 1)
+		}
+	}
+	if m > len(candidates) {
+		m = len(candidates)
+	}
+	for added := 0; added < m; {
+		idx, err := xrand.SampleWeighted(r, weights)
+		if err != nil {
+			return fmt.Errorf("attach %d: %w", id, err)
+		}
+		v := candidates[idx]
+		if g.HasEdge(id, v) {
+			weights[idx] = 0 // already linked; exclude
+			continue
+		}
+		if err := g.AddEdge(id, v); err != nil {
+			return err
+		}
+		weights[idx] = 0
+		added++
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+// Package topology builds and mutates the P2P overlay graphs of the paper's
+// evaluation: scale-free overlays with power-law degree distributions
+// (P(D) ∝ D^-2.5, mean degree 20, Sec. VI), plus regular, random and
+// complete topologies used for symmetric-utilization configurations and
+// tests. Graphs are mutable to support peer churn (open-network
+// experiments, Sec. VI-E).
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrNodeExists is returned when adding a node whose id is already present.
+var ErrNodeExists = errors.New("topology: node already exists")
+
+// ErrNoNode is returned when an operation references an absent node.
+var ErrNoNode = errors.New("topology: no such node")
+
+// Graph is an undirected simple graph over integer node ids. The zero value
+// is not usable; call NewGraph. Graph is not safe for concurrent use.
+type Graph struct {
+	adj    map[int]map[int]struct{}
+	edges  int
+	nextID int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[int]map[int]struct{})}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// HasNode reports whether id is present.
+func (g *Graph) HasNode(id int) bool {
+	_, ok := g.adj[id]
+	return ok
+}
+
+// NewNodeID returns an id that has never been used by this graph.
+func (g *Graph) NewNodeID() int {
+	id := g.nextID
+	g.nextID++
+	return id
+}
+
+// AddNode inserts an isolated node.
+func (g *Graph) AddNode(id int) error {
+	if g.HasNode(id) {
+		return fmt.Errorf("%w: %d", ErrNodeExists, id)
+	}
+	g.adj[id] = make(map[int]struct{})
+	if id >= g.nextID {
+		g.nextID = id + 1
+	}
+	return nil
+}
+
+// RemoveNode deletes a node and all incident edges (a peer departure).
+func (g *Graph) RemoveNode(id int) error {
+	nbrs, ok := g.adj[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoNode, id)
+	}
+	for n := range nbrs {
+		delete(g.adj[n], id)
+		g.edges--
+	}
+	delete(g.adj, id)
+	return nil
+}
+
+// AddEdge inserts the undirected edge {a, b}. Self-loops and duplicate
+// edges are rejected with an error (the overlay is a simple graph).
+func (g *Graph) AddEdge(a, b int) error {
+	if a == b {
+		return fmt.Errorf("topology: self-loop at %d", a)
+	}
+	if !g.HasNode(a) {
+		return fmt.Errorf("%w: %d", ErrNoNode, a)
+	}
+	if !g.HasNode(b) {
+		return fmt.Errorf("%w: %d", ErrNoNode, b)
+	}
+	if g.HasEdge(a, b) {
+		return fmt.Errorf("topology: duplicate edge {%d,%d}", a, b)
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.edges++
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge {a, b} if present.
+func (g *Graph) RemoveEdge(a, b int) error {
+	if !g.HasEdge(a, b) {
+		return fmt.Errorf("%w: edge {%d,%d}", ErrNoNode, a, b)
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.edges--
+	return nil
+}
+
+// HasEdge reports whether the undirected edge {a, b} exists.
+func (g *Graph) HasEdge(a, b int) bool {
+	nbrs, ok := g.adj[a]
+	if !ok {
+		return false
+	}
+	_, ok = nbrs[b]
+	return ok
+}
+
+// Degree returns the degree of id, or 0 if absent.
+func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
+
+// Neighbors returns the sorted neighbor ids of id. The slice is a copy.
+func (g *Graph) Neighbors(id int) []int {
+	nbrs := g.adj[id]
+	out := make([]int, 0, len(nbrs))
+	for n := range nbrs {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Nodes returns all node ids in ascending order.
+func (g *Graph) Nodes() []int {
+	out := make([]int, 0, len(g.adj))
+	for id := range g.adj {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MeanDegree returns the average node degree (0 for an empty graph).
+func (g *Graph) MeanDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// DegreeSequence returns all degrees in descending order.
+func (g *Graph) DegreeSequence() []int {
+	out := make([]int, 0, len(g.adj))
+	for _, nbrs := range g.adj {
+		out = append(out, len(nbrs))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Components returns the connected components, each as a sorted id slice,
+// ordered by their smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make(map[int]bool, len(g.adj))
+	var comps [][]int
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		queue := []int{start}
+		seen[start] = true
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			comp = append(comp, v)
+			for _, n := range g.Neighbors(v) {
+				if !seen[n] {
+					seen[n] = true
+					queue = append(queue, n)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// IsConnected reports whether the graph has exactly one component (empty
+// graphs are trivially connected).
+func (g *Graph) IsConnected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	return len(g.Components()) == 1
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.nextID = g.nextID
+	for id, nbrs := range g.adj {
+		c.adj[id] = make(map[int]struct{}, len(nbrs))
+		for n := range nbrs {
+			c.adj[id][n] = struct{}{}
+		}
+	}
+	c.edges = g.edges
+	return c
+}

@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+
+	"creditp2p/internal/xrand"
+)
+
+func newPath(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		if err := g.AddNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(i-1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestAddRemoveNode(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(3); !errors.Is(err, ErrNodeExists) {
+		t.Errorf("duplicate add error = %v, want ErrNodeExists", err)
+	}
+	if !g.HasNode(3) || g.NumNodes() != 1 {
+		t.Error("node not present after add")
+	}
+	if err := g.RemoveNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveNode(3); !errors.Is(err, ErrNoNode) {
+		t.Errorf("double remove error = %v, want ErrNoNode", err)
+	}
+	if g.NumNodes() != 0 {
+		t.Error("node present after remove")
+	}
+}
+
+func TestRemoveNodeDetachesEdges(t *testing.T) {
+	g := newPath(t, 3) // 0-1-2
+	if err := g.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Errorf("NumEdges = %d after removing middle node, want 0", g.NumEdges())
+	}
+	if g.Degree(0) != 0 || g.Degree(2) != 0 {
+		t.Error("stale incident edges after node removal")
+	}
+}
+
+func TestEdgeOperations(t *testing.T) {
+	g := newPath(t, 2)
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if err := g.AddEdge(0, 1); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 99); !errors.Is(err, ErrNoNode) {
+		t.Errorf("edge to absent node error = %v", err)
+	}
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) || g.NumEdges() != 0 {
+		t.Error("edge present after removal")
+	}
+	if err := g.RemoveEdge(0, 1); err == nil {
+		t.Error("removing absent edge succeeded")
+	}
+}
+
+func TestNeighborsSortedCopy(t *testing.T) {
+	g := NewGraph()
+	for _, id := range []int{5, 1, 9} {
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	nbrs := g.Neighbors(5)
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 9 {
+		t.Errorf("Neighbors(5) = %v, want [1 9]", nbrs)
+	}
+	nbrs[0] = 42 // must not alias internal state
+	if g.Neighbors(5)[0] != 1 {
+		t.Error("Neighbors returned aliased storage")
+	}
+}
+
+func TestComponentsAndConnectivity(t *testing.T) {
+	g := newPath(t, 3)
+	for i := 10; i < 12; i++ {
+		if err := g.AddNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge(10, 11); err != nil {
+		t.Fatal(err)
+	}
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("Components = %v, want 2 components", comps)
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+	r := xrand.New(1)
+	if err := EnsureConnected(g, r); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("EnsureConnected left graph disconnected")
+	}
+}
+
+func TestMeanDegreeAndSequence(t *testing.T) {
+	g := newPath(t, 4) // degrees 1,2,2,1
+	if md := g.MeanDegree(); md != 1.5 {
+		t.Errorf("MeanDegree = %v, want 1.5", md)
+	}
+	seq := g.DegreeSequence()
+	want := []int{2, 2, 1, 1}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("DegreeSequence = %v, want %v", seq, want)
+			break
+		}
+	}
+}
+
+func TestNewNodeIDMonotone(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddNode(7); err != nil {
+		t.Fatal(err)
+	}
+	id := g.NewNodeID()
+	if id <= 7 {
+		t.Errorf("NewNodeID = %d, want > 7", id)
+	}
+	if id2 := g.NewNodeID(); id2 <= id {
+		t.Errorf("NewNodeID not monotone: %d then %d", id, id2)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := newPath(t, 3)
+	c := g.Clone()
+	if err := c.RemoveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasNode(1) || g.NumEdges() != 2 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph()
+	if !g.IsConnected() {
+		t.Error("empty graph should be trivially connected")
+	}
+	if g.MeanDegree() != 0 {
+		t.Error("empty graph mean degree should be 0")
+	}
+	if len(g.Components()) != 0 {
+		t.Error("empty graph should have no components")
+	}
+}

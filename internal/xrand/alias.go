@@ -1,0 +1,119 @@
+package xrand
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoWeights is returned when a weighted sampler is built from an empty or
+// all-zero weight vector.
+var ErrNoWeights = errors.New("xrand: no positive weights")
+
+// Alias is a Walker/Vose alias table for O(1) sampling from a fixed discrete
+// distribution. Credit routing in the market simulator samples the next
+// seller among a peer's neighbors according to chunk-availability weights;
+// the alias table keeps each spend event constant time.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from non-negative weights. Weights need not
+// be normalized. It returns ErrNoWeights when no weight is positive and an
+// error when any weight is negative or non-finite.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	var total float64
+	for i, w := range weights {
+		if w < 0 || w != w || w > 1e300 {
+			return nil, fmt.Errorf("xrand: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if n == 0 || total <= 0 {
+		return nil, ErrNoWeights
+	}
+
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		prob[l] = 1
+		alias[l] = l
+	}
+	for _, s := range small {
+		prob[s] = 1 // only reachable through rounding error
+		alias[s] = s
+	}
+	return &Alias{prob: prob, alias: alias}, nil
+}
+
+// Len returns the size of the support.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Sample draws an index with probability proportional to its weight.
+func (a *Alias) Sample(r *RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// SampleWeighted draws an index i with probability weights[i]/sum(weights)
+// by linear scan. It is the one-shot counterpart of Alias for distributions
+// that change on every draw (e.g. availability weights under churn).
+// It returns ErrNoWeights when no weight is positive.
+func SampleWeighted(r *RNG, weights []float64) (int, error) {
+	var total float64
+	for i, w := range weights {
+		if w < 0 || w != w {
+			return 0, fmt.Errorf("xrand: invalid weight %v at index %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, ErrNoWeights
+	}
+	u := r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i, nil
+		}
+	}
+	// Rounding may leave u marginally above the accumulated total; return
+	// the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i, nil
+		}
+	}
+	return 0, ErrNoWeights
+}

@@ -1,0 +1,185 @@
+package xrand
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAliasErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{"empty", nil},
+		{"all-zero", []float64{0, 0, 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewAlias(tc.weights); !errors.Is(err, ErrNoWeights) {
+				t.Errorf("NewAlias(%v) error = %v, want ErrNoWeights", tc.weights, err)
+			}
+		})
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := NewAlias([]float64{1, math.NaN()}); err == nil {
+		t.Error("expected error for NaN weight")
+	}
+}
+
+func TestAliasFrequencies(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(31)
+	counts := make([]int, len(weights))
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("index %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleton(t *testing.T) {
+	a, err := NewAlias([]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("singleton alias returned non-zero index")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a, err := NewAlias([]float64{0, 1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(41)
+	for i := 0; i < 50000; i++ {
+		s := a.Sample(r)
+		if s == 0 || s == 2 {
+			t.Fatalf("sampled zero-weight index %d", s)
+		}
+	}
+}
+
+func TestSampleWeightedFrequencies(t *testing.T) {
+	weights := []float64{3, 0, 1}
+	r := New(53)
+	counts := make([]int, 3)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		idx, err := SampleWeighted(r, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[1])
+	}
+	if p := float64(counts[0]) / n; math.Abs(p-0.75) > 0.01 {
+		t.Errorf("index 0 frequency %v, want ~0.75", p)
+	}
+}
+
+func TestSampleWeightedErrors(t *testing.T) {
+	r := New(1)
+	if _, err := SampleWeighted(r, nil); !errors.Is(err, ErrNoWeights) {
+		t.Errorf("nil weights error = %v, want ErrNoWeights", err)
+	}
+	if _, err := SampleWeighted(r, []float64{0, 0}); !errors.Is(err, ErrNoWeights) {
+		t.Errorf("zero weights error = %v, want ErrNoWeights", err)
+	}
+	if _, err := SampleWeighted(r, []float64{1, math.NaN()}); err == nil {
+		t.Error("expected error for NaN weight")
+	}
+}
+
+func TestAliasMatchesSampleWeighted(t *testing.T) {
+	// Property: alias-table frequencies agree with linear-scan frequencies.
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		weights := make([]float64, len(raw))
+		var total float64
+		for i, v := range raw {
+			weights[i] = float64(v % 16)
+			total += weights[i]
+		}
+		if total == 0 {
+			return true
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		r1, r2 := New(977), New(977)
+		const n = 30000
+		c1 := make([]float64, len(weights))
+		c2 := make([]float64, len(weights))
+		for i := 0; i < n; i++ {
+			c1[a.Sample(r1)]++
+			idx, err := SampleWeighted(r2, weights)
+			if err != nil {
+				return false
+			}
+			c2[idx]++
+		}
+		for i := range weights {
+			if math.Abs(c1[i]-c2[i])/n > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 64)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	a, err := NewAlias(weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(r)
+	}
+}
+
+func BenchmarkSampleWeighted(b *testing.B) {
+	weights := make([]float64, 64)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SampleWeighted(r, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

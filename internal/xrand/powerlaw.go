@@ -1,0 +1,106 @@
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PowerLaw samples integers D in [Min, Max] with P(D) proportional to
+// D^-Alpha. The paper's scale-free overlays draw peer degrees from such a
+// bounded power law with shape Alpha = 2.5 and a Min chosen so that the mean
+// degree is 20 (Sec. VI).
+//
+// Sampling inverts a precomputed CDF table with binary search, so draws cost
+// O(log(Max-Min)).
+type PowerLaw struct {
+	min, max int
+	alpha    float64
+	cdf      []float64 // cdf[i] = P(D <= min+i)
+	mean     float64
+}
+
+// NewPowerLaw builds a bounded discrete power-law sampler. It returns an
+// error when the support is empty or alpha is not a finite positive number.
+func NewPowerLaw(min, max int, alpha float64) (*PowerLaw, error) {
+	if min < 1 || max < min {
+		return nil, fmt.Errorf("xrand: invalid power-law support [%d, %d]", min, max)
+	}
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("xrand: invalid power-law shape %v", alpha)
+	}
+	n := max - min + 1
+	cdf := make([]float64, n)
+	var total, weightedTotal float64
+	for i := 0; i < n; i++ {
+		d := float64(min + i)
+		w := math.Pow(d, -alpha)
+		total += w
+		weightedTotal += d * w
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &PowerLaw{
+		min:   min,
+		max:   max,
+		alpha: alpha,
+		cdf:   cdf,
+		mean:  weightedTotal / total,
+	}, nil
+}
+
+// Mean returns the exact mean of the bounded distribution.
+func (p *PowerLaw) Mean() float64 { return p.mean }
+
+// Min returns the smallest value in the support.
+func (p *PowerLaw) Min() int { return p.min }
+
+// Max returns the largest value in the support.
+func (p *PowerLaw) Max() int { return p.max }
+
+// Alpha returns the shape parameter.
+func (p *PowerLaw) Alpha() float64 { return p.alpha }
+
+// Sample draws one value.
+func (p *PowerLaw) Sample(r *RNG) int {
+	u := r.Float64()
+	i := sort.SearchFloat64s(p.cdf, u)
+	if i >= len(p.cdf) {
+		i = len(p.cdf) - 1
+	}
+	return p.min + i
+}
+
+// PowerLawForMean searches for the bounded power law D^-alpha on
+// [min, max] whose mean is closest to targetMean, by sweeping the lower
+// bound min upward from 1. The paper fixes alpha=2.5, max, and a mean of 20;
+// the free parameter is the cutoff. It returns an error if even min=max
+// cannot reach targetMean.
+func PowerLawForMean(max int, alpha, targetMean float64) (*PowerLaw, error) {
+	if targetMean < 1 || float64(max) < targetMean {
+		return nil, fmt.Errorf("xrand: target mean %v outside [1, %d]", targetMean, max)
+	}
+	best, bestGap := (*PowerLaw)(nil), math.Inf(1)
+	for min := 1; min <= max; min++ {
+		pl, err := NewPowerLaw(min, max, alpha)
+		if err != nil {
+			return nil, err
+		}
+		gap := math.Abs(pl.Mean() - targetMean)
+		if gap < bestGap {
+			best, bestGap = pl, gap
+		}
+		// Mean is monotone increasing in the lower cutoff; once we have
+		// passed the target the gap only grows.
+		if pl.Mean() > targetMean {
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("xrand: no power law on [1, %d] reaches mean %v", max, targetMean)
+	}
+	return best, nil
+}

@@ -1,0 +1,151 @@
+// Package xrand provides deterministic random-number generation and the
+// distribution samplers used across the creditp2p simulators and analytics.
+//
+// Every stochastic component in this repository draws randomness through an
+// *xrand.RNG seeded explicitly, so that simulations, experiments and tests
+// are reproducible bit-for-bit. The package wraps math/rand with the
+// distributions the paper's model needs: exponential service times, Poisson
+// arrivals and chunk prices, bounded power-law (Zipf-like) degrees for
+// scale-free overlays, and O(1) weighted sampling for credit routing.
+package xrand
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random number generator. It is not safe for
+// concurrent use; simulators are single-threaded by design and tests that
+// need parallelism create one RNG per goroutine.
+type RNG struct {
+	src *rand.Rand
+}
+
+// New returns an RNG seeded with seed. Equal seeds yield equal streams.
+func New(seed int64) *RNG {
+	return &RNG{src: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives a new, independent RNG from the current stream. It is used
+// to hand sub-components their own reproducible streams so that adding draws
+// in one component does not perturb another.
+func (r *RNG) Split() *RNG {
+	return New(r.src.Int63())
+}
+
+// Float64 returns a uniform sample from [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform sample from {0, ..., n-1}. n must be positive.
+func (r *RNG) Intn(n int) int { return r.src.Intn(n) }
+
+// Int63 returns a non-negative uniform 63-bit integer.
+func (r *RNG) Int63() int64 { return r.src.Int63() }
+
+// Perm returns a random permutation of {0, ..., n-1}.
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Exponential returns a sample from the exponential distribution with the
+// given rate (mean 1/rate). It is the service/inter-arrival time primitive
+// of the Jackson-network simulators. rate must be positive.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("xrand: non-positive exponential rate %v", rate))
+	}
+	// Inverse CDF on (0,1]; 1-Float64() avoids log(0).
+	return -math.Log(1-r.src.Float64()) / rate
+}
+
+// Poisson returns a sample from the Poisson distribution with the given
+// mean. Knuth's product method is used for small means and Hörmann's PTRS
+// transformed-rejection method for large means, so sampling stays O(1)-ish
+// across the parameter range used by the experiments. mean must be
+// non-negative.
+func (r *RNG) Poisson(mean float64) int {
+	switch {
+	case mean < 0 || math.IsNaN(mean):
+		panic(fmt.Sprintf("xrand: invalid Poisson mean %v", mean))
+	case mean == 0:
+		return 0
+	case mean < 30:
+		return r.poissonKnuth(mean)
+	default:
+		return r.poissonPTRS(mean)
+	}
+}
+
+func (r *RNG) poissonKnuth(mean float64) int {
+	limit := math.Exp(-mean)
+	k := 0
+	p := r.src.Float64()
+	for p > limit {
+		k++
+		p *= r.src.Float64()
+	}
+	return k
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm ("The transformed
+// rejection method for generating Poisson random variables", 1993). Valid
+// for mean >= 10; we only call it for mean >= 30.
+func (r *RNG) poissonPTRS(mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.src.Float64() - 0.5
+		v := r.src.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*math.Log(mean)-mean-lg {
+			return int(k)
+		}
+	}
+}
+
+// Pareto returns a sample from the (continuous) Pareto distribution with
+// scale xm > 0 and shape alpha > 0: P(X > x) = (xm/x)^alpha for x >= xm.
+// Heavy-tailed peer bandwidths and lifespans use it.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic(fmt.Sprintf("xrand: invalid Pareto parameters xm=%v alpha=%v", xm, alpha))
+	}
+	return xm / math.Pow(1-r.src.Float64(), 1/alpha)
+}
+
+// LogNormal returns a sample of exp(N(mu, sigma^2)). Heterogeneous spending
+// rates in the asymmetric-utilization experiments are drawn from it.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.src.NormFloat64())
+}
+
+// NormFloat64 returns a standard normal sample.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// Uniform returns a uniform sample from [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.src.Float64()
+}
