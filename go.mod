@@ -1,0 +1,3 @@
+module creditp2p
+
+go 1.24

@@ -24,45 +24,87 @@ var ErrNoAccount = errors.New("credit: no such account")
 // ErrBadAmount is returned for negative transfer amounts.
 var ErrBadAmount = errors.New("credit: invalid amount")
 
+// noAccount marks a free ledger slot.
+const noAccount = int64(-1) << 62
+
 // Ledger tracks integer credit balances for a set of peers. Transfers
 // conserve the total supply; Mint and Burn (peer join/departure under
 // churn) are the only operations that change it. Ledger is not safe for
 // concurrent use: simulations are single-threaded by design.
+//
+// Balances live in a dense slot array; peer ids are interned to slots at
+// Open and resolved through a map only on the id-keyed API. Hot simulation
+// loops should intern once via Slot and then use the *At methods, which are
+// plain array operations with no hashing or allocation.
 type Ledger struct {
-	balances map[int]int64
-	total    int64
-	minted   int64
-	burned   int64
+	index  map[int]int32 // peer id -> slot
+	ids    []int         // slot -> peer id (valid only when open)
+	bal    []int64       // slot -> balance; noAccount marks a free slot
+	free   []int32       // recycled slots
+	total  int64
+	minted int64
+	burned int64
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{balances: make(map[int]int64)}
+	return &Ledger{index: make(map[int]int32)}
 }
 
 // Open creates an account with the given initial balance (minting it).
 func (l *Ledger) Open(peer int, initial int64) error {
+	_, err := l.OpenSlot(peer, initial)
+	return err
+}
+
+// OpenSlot creates an account and returns its dense slot for use with the
+// *At fast-path methods. Slots are stable for the lifetime of the account
+// and recycled after Close.
+func (l *Ledger) OpenSlot(peer int, initial int64) (int32, error) {
 	if initial < 0 {
-		return fmt.Errorf("%w: initial %d", ErrBadAmount, initial)
+		return 0, fmt.Errorf("%w: initial %d", ErrBadAmount, initial)
 	}
-	if _, ok := l.balances[peer]; ok {
-		return fmt.Errorf("credit: account %d already open", peer)
+	if _, ok := l.index[peer]; ok {
+		return 0, fmt.Errorf("credit: account %d already open", peer)
 	}
-	l.balances[peer] = initial
+	var slot int32
+	if n := len(l.free); n > 0 {
+		slot = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		l.ids = append(l.ids, 0)
+		l.bal = append(l.bal, 0)
+		slot = int32(len(l.bal) - 1)
+	}
+	l.ids[slot] = peer
+	l.bal[slot] = initial
+	l.index[peer] = slot
 	l.total += initial
 	l.minted += initial
-	return nil
+	return slot, nil
+}
+
+// Slot resolves a peer id to its dense slot.
+func (l *Ledger) Slot(peer int) (int32, error) {
+	slot, ok := l.index[peer]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoAccount, peer)
+	}
+	return slot, nil
 }
 
 // Close removes an account and burns whatever it held (a departing peer
 // takes its credits out of the economy, Sec. VI-E). It returns the burned
-// amount.
+// amount. The slot is recycled; stale slots must not be used afterwards.
 func (l *Ledger) Close(peer int) (int64, error) {
-	b, ok := l.balances[peer]
+	slot, ok := l.index[peer]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoAccount, peer)
 	}
-	delete(l.balances, peer)
+	b := l.bal[slot]
+	delete(l.index, peer)
+	l.bal[slot] = noAccount
+	l.free = append(l.free, slot)
 	l.total -= b
 	l.burned += b
 	return b, nil
@@ -70,16 +112,20 @@ func (l *Ledger) Close(peer int) (int64, error) {
 
 // Balance returns a peer's balance.
 func (l *Ledger) Balance(peer int) (int64, error) {
-	b, ok := l.balances[peer]
+	slot, ok := l.index[peer]
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoAccount, peer)
 	}
-	return b, nil
+	return l.bal[slot], nil
 }
+
+// BalanceAt returns the balance of an open slot without hashing. The slot
+// must have come from OpenSlot/Slot and not have been closed since.
+func (l *Ledger) BalanceAt(slot int32) int64 { return l.bal[slot] }
 
 // Has reports whether the account exists.
 func (l *Ledger) Has(peer int) bool {
-	_, ok := l.balances[peer]
+	_, ok := l.index[peer]
 	return ok
 }
 
@@ -90,30 +136,70 @@ func (l *Ledger) Transfer(payer, payee int, amount int64) error {
 	if amount < 0 {
 		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
 	}
-	pb, ok := l.balances[payer]
+	from, ok := l.index[payer]
 	if !ok {
 		return fmt.Errorf("%w: payer %d", ErrNoAccount, payer)
 	}
-	if _, ok := l.balances[payee]; !ok {
+	to, ok := l.index[payee]
+	if !ok {
 		return fmt.Errorf("%w: payee %d", ErrNoAccount, payee)
 	}
-	if pb < amount {
-		return fmt.Errorf("%w: peer %d has %d, needs %d", ErrInsufficient, payer, pb, amount)
+	if l.bal[from] < amount {
+		return fmt.Errorf("%w: peer %d has %d, needs %d", ErrInsufficient, payer, l.bal[from], amount)
 	}
-	l.balances[payer] = pb - amount
-	l.balances[payee] += amount
+	l.bal[from] -= amount
+	l.bal[to] += amount
 	return nil
+}
+
+// TransferAt moves amount credits between open slots — the conserving
+// fast path. It performs no hashing and allocates only when building the
+// ErrInsufficient error.
+func (l *Ledger) TransferAt(from, to int32, amount int64) error {
+	if amount < 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
+	}
+	if l.bal[from] < amount {
+		return fmt.Errorf("%w: peer %d has %d, needs %d", ErrInsufficient, l.ids[from], l.bal[from], amount)
+	}
+	l.bal[from] -= amount
+	l.bal[to] += amount
+	return nil
+}
+
+// TryTransferAt moves amount credits between open slots, reporting success.
+// It is the allocation-free variant of TransferAt for hot loops that treat
+// an insufficient balance as a normal outcome rather than an error.
+func (l *Ledger) TryTransferAt(from, to int32, amount int64) bool {
+	if amount < 0 || l.bal[from] < amount {
+		return false
+	}
+	l.bal[from] -= amount
+	l.bal[to] += amount
+	return true
 }
 
 // Deposit mints amount credits into a peer's account (credit injection).
 func (l *Ledger) Deposit(peer int, amount int64) error {
+	slot, ok := l.index[peer]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoAccount, peer)
+	}
 	if amount < 0 {
 		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
 	}
-	if _, ok := l.balances[peer]; !ok {
-		return fmt.Errorf("%w: %d", ErrNoAccount, peer)
+	l.bal[slot] += amount
+	l.total += amount
+	l.minted += amount
+	return nil
+}
+
+// DepositAt mints amount credits into an open slot.
+func (l *Ledger) DepositAt(slot int32, amount int64) error {
+	if amount < 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
 	}
-	l.balances[peer] += amount
+	l.bal[slot] += amount
 	l.total += amount
 	l.minted += amount
 	return nil
@@ -121,17 +207,17 @@ func (l *Ledger) Deposit(peer int, amount int64) error {
 
 // Withdraw burns amount credits from a peer's account.
 func (l *Ledger) Withdraw(peer int, amount int64) error {
-	if amount < 0 {
-		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
-	}
-	b, ok := l.balances[peer]
+	slot, ok := l.index[peer]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoAccount, peer)
 	}
-	if b < amount {
-		return fmt.Errorf("%w: peer %d has %d, withdrawing %d", ErrInsufficient, peer, b, amount)
+	if amount < 0 {
+		return fmt.Errorf("%w: %d", ErrBadAmount, amount)
 	}
-	l.balances[peer] = b - amount
+	if l.bal[slot] < amount {
+		return fmt.Errorf("%w: peer %d has %d, withdrawing %d", ErrInsufficient, peer, l.bal[slot], amount)
+	}
+	l.bal[slot] -= amount
 	l.total -= amount
 	l.burned += amount
 	return nil
@@ -147,13 +233,13 @@ func (l *Ledger) Minted() int64 { return l.minted }
 func (l *Ledger) Burned() int64 { return l.burned }
 
 // NumAccounts returns the number of open accounts.
-func (l *Ledger) NumAccounts() int { return len(l.balances) }
+func (l *Ledger) NumAccounts() int { return len(l.index) }
 
 // Balances returns a copy of all balances keyed by peer id.
 func (l *Ledger) Balances() map[int]int64 {
-	out := make(map[int]int64, len(l.balances))
-	for k, v := range l.balances {
-		out[k] = v
+	out := make(map[int]int64, len(l.index))
+	for id, slot := range l.index {
+		out[id] = l.bal[slot]
 	}
 	return out
 }
@@ -162,11 +248,11 @@ func (l *Ledger) Balances() map[int]int64 {
 func (l *Ledger) BalanceVector(peers []int) ([]int64, error) {
 	out := make([]int64, len(peers))
 	for i, p := range peers {
-		b, ok := l.balances[p]
+		slot, ok := l.index[p]
 		if !ok {
 			return nil, fmt.Errorf("%w: %d", ErrNoAccount, p)
 		}
-		out[i] = b
+		out[i] = l.bal[slot]
 	}
 	return out, nil
 }
@@ -176,11 +262,19 @@ func (l *Ledger) BalanceVector(peers []int) ([]int64, error) {
 // simulators assert it after every run.
 func (l *Ledger) CheckConservation() error {
 	var sum int64
-	for _, b := range l.balances {
+	open := 0
+	for _, b := range l.bal {
+		if b == noAccount {
+			continue
+		}
 		if b < 0 {
 			return fmt.Errorf("credit: negative balance %d", b)
 		}
 		sum += b
+		open++
+	}
+	if open != len(l.index) {
+		return fmt.Errorf("credit: %d open slots != %d indexed accounts", open, len(l.index))
 	}
 	if sum != l.total {
 		return fmt.Errorf("credit: balances sum %d != tracked total %d", sum, l.total)

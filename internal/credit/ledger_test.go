@@ -206,3 +206,113 @@ func TestConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- dense slot fast path ---
+
+func TestSlotFastPathMatchesMapAPI(t *testing.T) {
+	l := NewLedger()
+	sa, err := l.OpenSlot(7, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := l.OpenSlot(9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := l.Slot(7); err != nil || got != sa {
+		t.Fatalf("Slot(7) = %d, %v; want %d", got, err, sa)
+	}
+	if err := l.TransferAt(sa, sb, 15); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := l.Balance(7); b != 35 || l.BalanceAt(sa) != 35 {
+		t.Errorf("payer balance = %d/%d, want 35", l.BalanceAt(sa), b)
+	}
+	if b, _ := l.Balance(9); b != 25 || l.BalanceAt(sb) != 25 {
+		t.Errorf("payee balance = %d/%d, want 25", l.BalanceAt(sb), b)
+	}
+	if err := l.TransferAt(sa, sb, 100); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("overdraft error = %v, want ErrInsufficient", err)
+	}
+	if err := l.TransferAt(sa, sb, -1); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("negative amount error = %v, want ErrBadAmount", err)
+	}
+	if err := l.DepositAt(sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	if l.BalanceAt(sb) != 30 || l.Total() != 65 {
+		t.Errorf("after deposit: balance %d total %d, want 30/65", l.BalanceAt(sb), l.Total())
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+	if _, err := l.Slot(99); !errors.Is(err, ErrNoAccount) {
+		t.Errorf("Slot(99) error = %v, want ErrNoAccount", err)
+	}
+}
+
+func TestTryTransferAt(t *testing.T) {
+	l := NewLedger()
+	sa, _ := l.OpenSlot(0, 3)
+	sb, _ := l.OpenSlot(1, 0)
+	if !l.TryTransferAt(sa, sb, 3) {
+		t.Fatal("covered transfer refused")
+	}
+	if l.TryTransferAt(sa, sb, 1) {
+		t.Error("overdraft transfer accepted")
+	}
+	if l.TryTransferAt(sa, sb, -1) {
+		t.Error("negative transfer accepted")
+	}
+	if l.BalanceAt(sa) != 0 || l.BalanceAt(sb) != 3 {
+		t.Errorf("balances = %d/%d, want 0/3", l.BalanceAt(sa), l.BalanceAt(sb))
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSlotRecycledAfterClose(t *testing.T) {
+	l := NewLedger()
+	sa, err := l.OpenSlot(0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	sb, err := l.OpenSlot(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb != sa {
+		t.Errorf("slot not recycled: got %d, want %d", sb, sa)
+	}
+	if l.BalanceAt(sb) != 2 {
+		t.Errorf("recycled slot balance = %d, want 2", l.BalanceAt(sb))
+	}
+	if l.Total() != 2 || l.Burned() != 8 {
+		t.Errorf("total %d burned %d, want 2/8", l.Total(), l.Burned())
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFastPathDoesNotAllocate(t *testing.T) {
+	l := NewLedger()
+	sa, _ := l.OpenSlot(0, 1<<40)
+	sb, _ := l.OpenSlot(1, 0)
+	avg := testing.AllocsPerRun(200, func() {
+		if err := l.TransferAt(sa, sb, 1); err != nil {
+			t.Fatal(err)
+		}
+		_ = l.BalanceAt(sa)
+		if !l.TryTransferAt(sb, sa, 1) {
+			t.Fatal("transfer back refused")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("fast-path allocs per op = %v, want 0", avg)
+	}
+}

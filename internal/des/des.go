@@ -2,87 +2,99 @@
 // event queue with deterministic tie-breaking and a scheduler that advances
 // virtual time. Both the credit-market simulator (queue-granularity Jackson
 // dynamics) and the churn machinery are built on it.
+//
+// The kernel is built for throughput: events are plain values (a kind tag,
+// an actor index, and one payload word) held in a slab that is recycled
+// through a free list, and ordered by a 4-ary heap of slab slots. In steady
+// state — events scheduled and fired at a matched rate — the scheduler
+// performs zero heap allocations per event. Cancellation is O(1) through
+// generation-counted handles; cancelled events are discarded lazily when
+// they surface at the head of the queue.
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrPastTime is returned when an event is scheduled before the current
 // simulation time.
 var ErrPastTime = errors.New("des: event scheduled in the past")
 
-// Handler is an event callback. It runs at the event's firing time and may
-// schedule further events.
-type Handler func()
+// ErrBadTime is returned when an event is scheduled at a NaN time.
+var ErrBadTime = errors.New("des: NaN event time")
 
-type event struct {
-	time    float64
-	seq     uint64 // FIFO tie-break for simultaneous events
-	handler Handler
-	index   int
-	dead    bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
-}
-
-// Event is a handle to a scheduled event; it can be cancelled.
+// Event is one typed simulation event. The scheduler stores and returns
+// events by value; the meaning of Kind, Actor and Payload is defined by the
+// simulation that owns the scheduler.
 type Event struct {
-	e *event
+	// Time is the virtual time at which the event fires.
+	Time float64
+	// Payload is one free word of application data (a generation counter, a
+	// table index, ...).
+	Payload int64
+	// Actor is the entity the event concerns, typically a dense peer index;
+	// -1 conventionally means "the system".
+	Actor int32
+	// Kind tags the event type for dispatch.
+	Kind uint16
 }
 
-// Cancel marks the event so its handler will not run. Cancelling an already
-// fired or cancelled event is a no-op. Cancellation is O(1); dead events are
-// discarded lazily when they surface in the queue.
-func (ev Event) Cancel() {
-	if ev.e != nil {
-		ev.e.dead = true
-		ev.e.handler = nil
+// Handle identifies a scheduled event for cancellation. The zero Handle is
+// invalid (never issued) and safe to Cancel. Handles are generation-counted:
+// once the underlying slot is recycled a stale handle no longer matches and
+// all operations on it are no-ops.
+type Handle struct {
+	slot int32 // 1-based slab index; 0 marks the invalid handle
+	gen  uint32
+}
+
+// Valid reports whether the handle was issued by a scheduler (it may still
+// refer to an already-fired or cancelled event).
+func (h Handle) Valid() bool { return h.slot != 0 }
+
+// node slot states.
+const (
+	slotFree uint8 = iota
+	slotLive
+	slotDead // cancelled but still buried in the heap
+)
+
+// node is one slab entry: the event value plus queue bookkeeping.
+type node struct {
+	time    float64
+	payload int64
+	actor   int32
+	gen     uint32
+	kind    uint16
+	state   uint8
+}
+
+// heapEntry carries the ordering key alongside the slot so that heap
+// comparisons read contiguous heap memory instead of chasing into the slab.
+type heapEntry struct {
+	time float64
+	seq  uint64 // FIFO tie-break for simultaneous events
+	slot int32
+}
+
+func (a heapEntry) before(b heapEntry) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
+	return a.seq < b.seq
 }
-
-// Cancelled reports whether the event was cancelled (or already collected).
-func (ev Event) Cancelled() bool { return ev.e == nil || ev.e.dead }
 
 // Scheduler owns virtual time and the pending event set. It is not safe for
 // concurrent use; a simulation is a single-goroutine loop.
 type Scheduler struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
+	slab    []node
+	free    []int32     // recycled slab slots
+	heap    []heapEntry // 4-ary min-heap keyed by (time, seq)
+	live    int         // scheduled and not cancelled
 	fired   uint64
 	dropped uint64
 }
@@ -95,68 +107,97 @@ func NewScheduler() *Scheduler {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() float64 { return s.now }
 
-// Fired returns the number of events whose handlers have run.
+// Fired returns the number of events that have been delivered.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+// Pending returns the number of scheduled, not-yet-cancelled events.
+func (s *Scheduler) Pending() int { return s.live }
 
-// ScheduleAt registers handler to run at absolute time t.
-func (s *Scheduler) ScheduleAt(t float64, handler Handler) (Event, error) {
+// ScheduleAt registers an event at absolute time t and returns its handle.
+func (s *Scheduler) ScheduleAt(t float64, kind uint16, actor int32, payload int64) (Handle, error) {
+	if math.IsNaN(t) {
+		return Handle{}, ErrBadTime
+	}
 	if t < s.now {
-		return Event{}, fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, s.now)
+		return Handle{}, fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, s.now)
 	}
-	if handler == nil {
-		return Event{}, errors.New("des: nil handler")
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.slab = append(s.slab, node{})
+		slot = int32(len(s.slab)) // 1-based
 	}
-	e := &event{time: t, seq: s.seq, handler: handler}
+	nd := &s.slab[slot-1]
+	nd.time = t
+	nd.payload = payload
+	nd.actor = actor
+	nd.kind = kind
+	nd.state = slotLive
+	s.heap = append(s.heap, heapEntry{time: t, seq: s.seq, slot: slot})
 	s.seq++
-	heap.Push(&s.queue, e)
-	return Event{e: e}, nil
+	s.up(len(s.heap) - 1)
+	s.live++
+	return Handle{slot: slot, gen: nd.gen}, nil
 }
 
-// Schedule registers handler to run after the given non-negative delay.
-func (s *Scheduler) Schedule(delay float64, handler Handler) (Event, error) {
-	return s.ScheduleAt(s.now+delay, handler)
+// Schedule registers an event after the given non-negative delay.
+func (s *Scheduler) Schedule(delay float64, kind uint16, actor int32, payload int64) (Handle, error) {
+	return s.ScheduleAt(s.now+delay, kind, actor, payload)
 }
 
-// Step fires the earliest pending event. It reports whether an event ran.
-func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*event)
-		if e.dead {
-			s.dropped++
-			continue
-		}
-		s.now = e.time
-		h := e.handler
-		e.handler = nil
-		e.dead = true
-		h()
-		s.fired++
+// Cancel marks the event so it will not be delivered. Cancelling an already
+// fired, already cancelled, or invalid handle is a no-op. Cancellation is
+// O(1); the dead slot is discarded lazily when it surfaces in the queue.
+// It reports whether a pending event was actually cancelled.
+func (s *Scheduler) Cancel(h Handle) bool {
+	if h.slot == 0 {
+		return false
+	}
+	nd := &s.slab[h.slot-1]
+	if nd.gen != h.gen || nd.state != slotLive {
+		return false
+	}
+	nd.state = slotDead
+	s.live--
+	return true
+}
+
+// Cancelled reports whether the handle no longer refers to a pending event
+// (it was cancelled, already fired, or never issued).
+func (s *Scheduler) Cancelled(h Handle) bool {
+	if h.slot == 0 {
 		return true
 	}
-	return false
+	nd := &s.slab[h.slot-1]
+	return nd.gen != h.gen || nd.state != slotLive
 }
 
-// RunUntil fires events in time order until the queue is empty or the next
-// event is after horizon. Time is left at the later of the last fired event
-// and horizon. It returns the number of events fired.
-func (s *Scheduler) RunUntil(horizon float64) uint64 {
+// Step delivers the earliest pending event. It reports whether one fired.
+func (s *Scheduler) Step(deliver func(Event)) bool {
+	ev, ok := s.pop(math.Inf(1))
+	if !ok {
+		return false
+	}
+	s.fired++
+	deliver(ev)
+	return true
+}
+
+// RunUntil delivers events in time order until the queue is empty or the
+// next event is after horizon. Time is left at the later of the last fired
+// event and horizon. It returns the number of events delivered.
+func (s *Scheduler) RunUntil(horizon float64, deliver func(Event)) uint64 {
 	var fired uint64
-	for len(s.queue) > 0 {
-		// Peek; lazily drop cancelled heads.
-		head := s.queue[0]
-		if head.dead {
-			heap.Pop(&s.queue)
-			s.dropped++
-			continue
-		}
-		if head.time > horizon {
+	for {
+		ev, ok := s.pop(horizon)
+		if !ok {
 			break
 		}
-		s.Step()
+		s.fired++
 		fired++
+		deliver(ev)
 	}
 	if s.now < horizon {
 		s.now = horizon
@@ -164,11 +205,106 @@ func (s *Scheduler) RunUntil(horizon float64) uint64 {
 	return fired
 }
 
-// Drain fires all pending events regardless of time. Intended for tests.
-func (s *Scheduler) Drain() uint64 {
+// Drain delivers all pending events regardless of time, leaving virtual
+// time at the last fired event. Intended for tests.
+func (s *Scheduler) Drain(deliver func(Event)) uint64 {
 	var fired uint64
-	for s.Step() {
+	for {
+		ev, ok := s.pop(math.Inf(1))
+		if !ok {
+			break
+		}
+		s.fired++
 		fired++
+		deliver(ev)
 	}
 	return fired
+}
+
+// pop removes and returns the earliest live event with time <= horizon,
+// advancing virtual time to it. Dead (cancelled) slots encountered at the
+// head are freed and skipped.
+func (s *Scheduler) pop(horizon float64) (Event, bool) {
+	for len(s.heap) > 0 {
+		head := s.heap[0]
+		nd := &s.slab[head.slot-1]
+		if nd.state == slotDead {
+			s.removeHead()
+			s.recycle(head.slot)
+			s.dropped++
+			continue
+		}
+		if head.time > horizon {
+			return Event{}, false
+		}
+		ev := Event{Time: head.time, Kind: nd.kind, Actor: nd.actor, Payload: nd.payload}
+		s.removeHead()
+		s.recycle(head.slot)
+		s.live--
+		s.now = ev.Time
+		return ev, true
+	}
+	return Event{}, false
+}
+
+// recycle returns a slot to the free list, invalidating outstanding handles.
+func (s *Scheduler) recycle(slot int32) {
+	nd := &s.slab[slot-1]
+	nd.state = slotFree
+	nd.gen++
+	s.free = append(s.free, slot)
+}
+
+// --- 4-ary heap of (time, seq, slot) entries ---
+
+func (s *Scheduler) up(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+func (s *Scheduler) removeHead() {
+	h := s.heap
+	n := len(h) - 1
+	h[0] = h[n]
+	s.heap = h[:n]
+	if n > 1 {
+		s.down(0)
+	}
+}
+
+func (s *Scheduler) down(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(h[best]) {
+				best = c
+			}
+		}
+		if !h[best].before(e) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = e
 }

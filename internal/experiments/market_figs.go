@@ -70,21 +70,26 @@ func init() {
 
 func runInflation(p Preset, w io.Writer) error {
 	s := scaleOf(p)
-	tab := trace.Table{Header: []string{"injection", "final supply", "stabilized gini", "top-1% wealth"}}
-	var set trace.Set
-	for _, inject := range []int64{0, 1, 4} {
+	injections := []int64{0, 1, 4}
+	results, err := parMap(len(injections), func(i int) (*market.Result, error) {
 		cfg, err := asymmetricConfig(s, 20, 808)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		if injections[i] > 0 {
+			cfg.Inject = &market.InjectConfig{Amount: injections[i], Period: s.horizon / 40}
+		}
+		return market.Run(cfg)
+	})
+	if err != nil {
+		return err
+	}
+	tab := trace.Table{Header: []string{"injection", "final supply", "stabilized gini", "top-1% wealth"}}
+	var set trace.Set
+	for i, res := range results {
 		name := "none"
-		if inject > 0 {
-			cfg.Inject = &market.InjectConfig{Amount: inject, Period: s.horizon / 40}
-			name = fmt.Sprintf("%d credits/peer every %s s", inject, trace.FormatFloat(s.horizon/40))
-		}
-		res, err := market.Run(cfg)
-		if err != nil {
-			return err
+		if injections[i] > 0 {
+			name = fmt.Sprintf("%d credits/peer every %s s", injections[i], trace.FormatFloat(s.horizon/40))
 		}
 		var top int64
 		for _, b := range res.FinalWealth {
@@ -195,29 +200,34 @@ func runFig3(p Preset, w io.Writer) error {
 		}
 		return h
 	}()...)}
-	for _, c := range wealths {
-		row := make([]float64, 0, len(sizes))
-		for _, n := range sizes {
-			// One fixed utilization draw per N so the c-sweep varies only
-			// the credit supply. Larger c mixes slower, so the horizon
-			// scales with c to let every point reach its equilibrium.
-			horizon := s.horizon
-			if h := float64(c) * s.horizon / 40; h > horizon {
-				horizon = h
-			}
-			cfg, err := asymmetricConfig(marketScale{
-				n: n, degree: s.degree, horizon: horizon, sample: horizon / 40,
-			}, c, int64(n)*7)
-			if err != nil {
-				return err
-			}
-			res, err := market.Run(cfg)
-			if err != nil {
-				return err
-			}
-			row = append(row, res.Gini.Tail(s.tailK))
+	// Fan the (c, N) grid across the worker pool: every point is an
+	// independent seeded simulation.
+	ginis, err := parMap(len(wealths)*len(sizes), func(k int) (float64, error) {
+		c, n := wealths[k/len(sizes)], sizes[k%len(sizes)]
+		// One fixed utilization draw per N so the c-sweep varies only
+		// the credit supply. Larger c mixes slower, so the horizon
+		// scales with c to let every point reach its equilibrium.
+		horizon := s.horizon
+		if h := float64(c) * s.horizon / 40; h > horizon {
+			horizon = h
 		}
-		tab.AddFloats(trace.FormatFloat(float64(c)), row...)
+		cfg, err := asymmetricConfig(marketScale{
+			n: n, degree: s.degree, horizon: horizon, sample: horizon / 40,
+		}, c, int64(n)*7)
+		if err != nil {
+			return 0, err
+		}
+		res, err := market.Run(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.Gini.Tail(s.tailK), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, c := range wealths {
+		tab.AddFloats(trace.FormatFloat(float64(c)), ginis[i*len(sizes):(i+1)*len(sizes)]...)
 	}
 	return tab.Write(w)
 }
@@ -271,9 +281,9 @@ func runFig6(p Preset, w io.Writer) error { return snapshotExperiment(p, w, true
 
 func giniEvolution(p Preset, w io.Writer, asymmetric bool) error {
 	s := scaleOf(p)
-	var set trace.Set
-	tab := trace.Table{Header: []string{"c", "stabilized gini"}}
-	for _, c := range []int64{50, 100, 200} {
+	wealths := []int64{50, 100, 200}
+	results, err := parMap(len(wealths), func(i int) (*market.Result, error) {
+		c := wealths[i]
 		// Richer markets mix more slowly; give every c enough horizon to
 		// stabilize (the paper runs 40 000 s for the same reason).
 		sc := s
@@ -291,13 +301,17 @@ func giniEvolution(p Preset, w io.Writer, asymmetric bool) error {
 			cfg, err = symmetricConfig(sc, c, 300+c)
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res, err := market.Run(cfg)
-		if err != nil {
-			return err
-		}
-		res.Gini.Name = fmt.Sprintf("c=%d", c)
+		return market.Run(cfg)
+	})
+	if err != nil {
+		return err
+	}
+	var set trace.Set
+	tab := trace.Table{Header: []string{"c", "stabilized gini"}}
+	for i, res := range results {
+		res.Gini.Name = fmt.Sprintf("c=%d", wealths[i])
 		set.Add(res.Gini)
 		tab.AddFloats(res.Gini.Name, res.Gini.Tail(s.tailK))
 	}
@@ -325,27 +339,29 @@ func runFig9(p Preset, w io.Writer) error {
 		{"rate=0.1 thres.=80", 0.1, 80},
 		{"rate=0.2 thres.=80", 0.2, 80},
 	}
-	var set trace.Set
-	tab := trace.Table{Header: []string{"policy", "stabilized gini", "collected", "redistributed"}}
-	for _, tc := range cases {
+	results, err := parMap(len(cases), func(i int) (*market.Result, error) {
 		cfg, err := asymmetricConfig(s, c, 412)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		if tc.rate > 0 {
-			tax, err := credit.NewTaxPolicy(tc.rate, tc.threshold)
+		if cases[i].rate > 0 {
+			tax, err := credit.NewTaxPolicy(cases[i].rate, cases[i].threshold)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			cfg.Tax = tax
 		}
-		res, err := market.Run(cfg)
-		if err != nil {
-			return err
-		}
-		res.Gini.Name = tc.name
+		return market.Run(cfg)
+	})
+	if err != nil {
+		return err
+	}
+	var set trace.Set
+	tab := trace.Table{Header: []string{"policy", "stabilized gini", "collected", "redistributed"}}
+	for i, res := range results {
+		res.Gini.Name = cases[i].name
 		set.Add(res.Gini)
-		tab.AddRow(tc.name,
+		tab.AddRow(cases[i].name,
 			trace.FormatFloat(res.Gini.Tail(s.tailK)),
 			fmt.Sprintf("%d", res.TaxCollected),
 			fmt.Sprintf("%d", res.TaxRedistributed))
@@ -359,25 +375,26 @@ func runFig9(p Preset, w io.Writer) error {
 func runFig10(p Preset, w io.Writer) error {
 	s := scaleOf(p)
 	const c = 100
-	var set trace.Set
-	tab := trace.Table{Header: []string{"spending policy", "stabilized gini"}}
-	for _, dynamic := range []bool{false, true} {
+	names := []string{"without adjustment", "with adjustment"}
+	results, err := parMap(len(names), func(i int) (*market.Result, error) {
 		cfg, err := asymmetricConfig(s, c, 512)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		name := "without adjustment"
-		if dynamic {
+		if i == 1 {
 			cfg.Spending = credit.DynamicSpending{M: c}
-			name = "with adjustment"
 		}
-		res, err := market.Run(cfg)
-		if err != nil {
-			return err
-		}
-		res.Gini.Name = name
+		return market.Run(cfg)
+	})
+	if err != nil {
+		return err
+	}
+	var set trace.Set
+	tab := trace.Table{Header: []string{"spending policy", "stabilized gini"}}
+	for i, res := range results {
+		res.Gini.Name = names[i]
 		set.Add(res.Gini)
-		tab.AddFloats(name, res.Gini.Tail(s.tailK))
+		tab.AddFloats(names[i], res.Gini.Tail(s.tailK))
 	}
 	if err := tab.Write(w); err != nil {
 		return err
@@ -418,34 +435,49 @@ func runFig11(p Preset, w io.Writer) error {
 		}},
 	}
 	const c = 100
+	// Flatten every panel's runs into one fan-out; render panel by panel
+	// afterwards so the output order is unchanged.
+	type item struct{ panel, run int }
+	var items []item
+	for pi, panel := range panels {
+		for ri := range panel.runs {
+			items = append(items, item{pi, ri})
+		}
+	}
+	results, err := parMap(len(items), func(k int) (*market.Result, error) {
+		r := panels[items[k].panel].runs[items[k].run]
+		mcfg, err := asymmetricConfig(marketScale{
+			n: s.n, degree: s.degree, horizon: horizon, sample: horizon / 40,
+		}, c, 600+int64(items[k].run))
+		if err != nil {
+			return nil, err
+		}
+		if !r.static {
+			mcfg.Churn = &market.ChurnConfig{
+				ArrivalRate:  r.arrival * popScale,
+				MeanLifespan: r.lifespan,
+				AttachDegree: s.degree,
+				Preferential: false,
+			}
+			// Joining peers draw a fresh random utilization via mu.
+			mcfg.JoinMu = func(rng *xrand.RNG) float64 {
+				u := 0.25 + 0.75*rng.Float64()
+				return 1 / u
+			}
+		}
+		return market.Run(mcfg)
+	})
+	if err != nil {
+		return err
+	}
+	k := 0
 	for _, panel := range panels {
 		fmt.Fprintf(w, "\n%s\n", panel.title)
 		tab := trace.Table{Header: []string{"setting", "stabilized gini", "joins", "departures", "steady pop"}}
 		var set trace.Set
-		for i, r := range panel.runs {
-			mcfg, err := asymmetricConfig(marketScale{
-				n: s.n, degree: s.degree, horizon: horizon, sample: horizon / 40,
-			}, c, 600+int64(i))
-			if err != nil {
-				return err
-			}
-			if !r.static {
-				mcfg.Churn = &market.ChurnConfig{
-					ArrivalRate:  r.arrival * popScale,
-					MeanLifespan: r.lifespan,
-					AttachDegree: s.degree,
-					Preferential: false,
-				}
-				// Joining peers draw a fresh random utilization via mu.
-				mcfg.JoinMu = func(rng *xrand.RNG) float64 {
-					u := 0.25 + 0.75*rng.Float64()
-					return 1 / u
-				}
-			}
-			res, err := market.Run(mcfg)
-			if err != nil {
-				return err
-			}
+		for _, r := range panel.runs {
+			res := results[k]
+			k++
 			res.Gini.Name = r.name
 			set.Add(res.Gini)
 			tab.AddRow(r.name,

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// parMap evaluates fn for every index 0..n-1 across a bounded worker pool
+// and returns the results in index order. It is the fan-out engine behind
+// the figure experiments: every figure point / replication is an
+// independent simulation whose randomness is derived from seeds embedded in
+// its own config, so running them concurrently yields bit-identical results
+// to the sequential loop — workers share no RNG and no mutable state.
+//
+// All indices are evaluated even if some fail; the first error by index
+// order is returned so the caller's failure is deterministic too.
+func parMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Replicate runs n independent seeded replications of run across the worker
+// pool and returns the per-replication outputs in replication order. Seeds
+// are baseSeed, baseSeed+1, ... so a replication set is addressable and
+// reproducible; run must derive all of its randomness from the seed it is
+// handed.
+func Replicate[T any](n int, baseSeed int64, run func(rep int, seed int64) (T, error)) ([]T, error) {
+	return parMap(n, func(i int) (T, error) {
+		return run(i, baseSeed+int64(i))
+	})
+}

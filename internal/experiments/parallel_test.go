@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"creditp2p/internal/market"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/xrand"
+)
+
+func TestParMapOrdersResults(t *testing.T) {
+	out, err := parMap(100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParMapReturnsFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	_, err := parMap(64, func(i int) (int, error) {
+		switch i {
+		case 9:
+			return 0, errA
+		case 40:
+			return 0, errB
+		}
+		return i, nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("error = %v, want the lowest-index failure %v", err, errA)
+	}
+}
+
+func TestParMapZeroItems(t *testing.T) {
+	out, err := parMap(0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("parMap(0) = %v, %v", out, err)
+	}
+}
+
+func TestReplicateSeedsAreStable(t *testing.T) {
+	var seeds [8]int64
+	out, err := Replicate(8, 1000, func(rep int, seed int64) (int64, error) {
+		seeds[rep] = seed
+		return seed, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if want := int64(1000 + i); v != want || seeds[i] != want {
+			t.Fatalf("replication %d got seed %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestParallelRunsMatchSequential is the fan-out determinism guarantee:
+// simulations dispatched across the pool produce exactly the results the
+// sequential loop would.
+func TestParallelRunsMatchSequential(t *testing.T) {
+	run := func(seed int64) float64 {
+		g, err := topology.RandomRegular(60, 6, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := market.Run(market.Config{
+			Graph:         g,
+			InitialWealth: 10,
+			DefaultMu:     1,
+			Horizon:       200,
+			Seed:          seed + 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.FinalGini
+	}
+	var sequential []float64
+	for seed := int64(0); seed < 6; seed++ {
+		sequential = append(sequential, run(seed))
+	}
+	parallel, err := Replicate(6, 0, func(rep int, seed int64) (float64, error) {
+		return run(seed), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sequential {
+		if sequential[i] != parallel[i] {
+			t.Fatalf("replication %d: sequential %v != parallel %v", i, sequential[i], parallel[i])
+		}
+	}
+}

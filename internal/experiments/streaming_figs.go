@@ -85,22 +85,20 @@ func spendingProfile(res *streaming.Result) []float64 {
 
 func runFig1(p Preset, w io.Writer) error {
 	s := fig1ScaleOf(p)
-	gHealthy, err := fig1Overlay(s.n, 7)
+	results, err := parMap(2, func(i int) (*streaming.Result, error) {
+		g, err := fig1Overlay(s.n, 7)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			return streaming.Run(fig1Config(g, 12, nil, s.horizon))
+		}
+		return streaming.Run(fig1Config(g, 200, sellerPoissonPricing(g, 11), s.horizon))
+	})
 	if err != nil {
 		return err
 	}
-	healthy, err := streaming.Run(fig1Config(gHealthy, 12, nil, s.horizon))
-	if err != nil {
-		return err
-	}
-	gCond, err := fig1Overlay(s.n, 7)
-	if err != nil {
-		return err
-	}
-	condensed, err := streaming.Run(fig1Config(gCond, 200, sellerPoissonPricing(gCond, 11), s.horizon))
-	if err != nil {
-		return err
-	}
+	healthy, condensed := results[0], results[1]
 
 	tab := trace.Table{Header: []string{"case", "gini(spending)", "gini(wealth)", "mean continuity", "chunks traded"}}
 	var set trace.Set
@@ -162,20 +160,23 @@ func runPricing(p Preset, w io.Writer) error {
 			return credit.PerPeerPricing{Prices: prices, Default: 1}, nil
 		}},
 	}
-	tab := trace.Table{Header: []string{"pricing", "gini(spending)", "gini(wealth)", "mean continuity"}}
-	for _, scheme := range schemes {
+	results, err := parMap(len(schemes), func(i int) (*streaming.Result, error) {
 		g, err := fig1Overlay(s.n, 31)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		pricing, err := scheme.mk(g)
+		pricing, err := schemes[i].mk(g)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res, err := streaming.Run(fig1Config(g, wealth, pricing, s.horizon))
-		if err != nil {
-			return err
-		}
+		return streaming.Run(fig1Config(g, wealth, pricing, s.horizon))
+	})
+	if err != nil {
+		return err
+	}
+	tab := trace.Table{Header: []string{"pricing", "gini(spending)", "gini(wealth)", "mean continuity"}}
+	for i, scheme := range schemes {
+		res := results[i]
 		var cont []float64
 		for _, v := range res.Continuity {
 			cont = append(cont, v)

@@ -9,6 +9,13 @@
 // redistribution (Sec. VI-C), wealth-coupled dynamic spending rates
 // (Sec. VI-D), and peer churn turning the closed network into an open one
 // (Sec. VI-E). It reproduces Figs. 5–11.
+//
+// State is flat: overlay ids are interned into dense peer indices at
+// join/depart boundaries, balances live in dense ledger slots, and events
+// on the DES kernel are typed values carrying the peer index — the spend
+// hot path performs no map lookups and no allocations. Every collection
+// iterated during the run (redistribution, injection, sampling) is a dense
+// slice walked in index order, so equal seeds give byte-identical results.
 package market
 
 import (
@@ -206,13 +213,36 @@ type Result struct {
 	Supply *trace.Series
 }
 
+// Typed event kinds on the DES kernel. Spend and depart events carry the
+// peer's generation counter in the payload so that events scheduled for a
+// departed peer are inert even if the peer slot has been recycled.
+const (
+	evSpend uint16 = iota + 1
+	evDepart
+	evArrive
+	evInject
+	evSample
+	evSnapshot
+)
+
+// peerState is the dense per-peer record, indexed by peer index (px).
+// Slots of departed peers are recycled through a free list; the generation
+// counter distinguishes incarnations.
 type peerState struct {
-	baseMu  float64
-	pending des.Event
+	// id is the external overlay id the index was interned from.
+	id int
+	// acct is the peer's dense ledger slot.
+	acct int32
+	// gen is bumped when the peer departs; in-flight events carrying the
+	// old generation are discarded on delivery.
+	gen     uint32
+	alive   bool
 	idle    bool
-	// Cached routing weights; rebuilt when dirty (churn touched the
-	// neighborhood).
-	nbrs    []int
+	baseMu  float64
+	pending des.Handle
+	// Cached routing neighborhood as peer indices; rebuilt when dirty
+	// (churn touched the neighborhood).
+	nbrs    []int32
 	weights []float64
 	dirty   bool
 	// spends counts transfers initiated inside the measurement window.
@@ -243,8 +273,18 @@ type simulation struct {
 	sched  *des.Scheduler
 	rng    *xrand.RNG
 	ledger *credit.Ledger
-	peers  map[int]*peerState
-	res    *Result
+	// peers is the dense peer slab; idx interns overlay ids to indices.
+	peers  []peerState
+	idx    map[int]int32
+	freePx []int32
+	nLive  int
+	// collector is the ledger slot of the taxation pot.
+	collector int32
+	// wealthBuf is the reused scratch vector for Gini sampling; nbrScratch
+	// is the reused buffer for neighbor queries.
+	wealthBuf  []float64
+	nbrScratch []int
+	res        *Result
 }
 
 // Run executes the simulation described by cfg.
@@ -258,7 +298,7 @@ func Run(cfg Config) (*Result, error) {
 		sched:  des.NewScheduler(),
 		rng:    xrand.New(cfg.Seed),
 		ledger: credit.NewLedger(),
-		peers:  make(map[int]*peerState),
+		idx:    make(map[int]int32, cfg.Graph.NumNodes()),
 		res: &Result{
 			Gini:         trace.NewSeries("gini"),
 			Population:   trace.NewSeries("population"),
@@ -267,11 +307,15 @@ func Run(cfg Config) (*Result, error) {
 			SpendingRate: make(map[int]float64),
 		},
 	}
-	if err := s.ledger.Open(collectorID, 0); err != nil {
+	collector, err := s.ledger.OpenSlot(collectorID, 0)
+	if err != nil {
 		return nil, err
 	}
-	for _, id := range s.g.Nodes() {
-		if err := s.addPeer(id, s.muOf(id)); err != nil {
+	s.collector = collector
+	ids := s.g.Nodes()
+	s.peers = make([]peerState, 0, len(ids))
+	for _, id := range ids {
+		if _, err := s.addPeer(id, s.muOf(id)); err != nil {
 			return nil, err
 		}
 	}
@@ -281,8 +325,8 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Churn != nil {
 		// Initial peers are as mortal as joiners (memoryless lifespans), so
 		// the population relaxes to ArrivalRate * MeanLifespan.
-		for id := range s.peers {
-			s.scheduleDeparture(id)
+		for px := range s.peers {
+			s.scheduleDeparture(int32(px))
 		}
 		if cfg.Churn.ArrivalRate > 0 {
 			if err := s.scheduleArrival(); err != nil {
@@ -291,16 +335,34 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	if cfg.Inject != nil {
-		if err := s.scheduleInjection(); err != nil {
+		if _, err := s.sched.Schedule(cfg.Inject.Period, evInject, -1, 0); err != nil {
 			return nil, err
 		}
 	}
-	s.sched.RunUntil(cfg.Horizon)
+	s.sched.RunUntil(cfg.Horizon, s.dispatch)
 
 	if err := s.finish(); err != nil {
 		return nil, err
 	}
 	return s.res, nil
+}
+
+// dispatch routes a typed event to its handler.
+func (s *simulation) dispatch(ev des.Event) {
+	switch ev.Kind {
+	case evSpend:
+		s.spend(ev.Actor, uint32(ev.Payload))
+	case evDepart:
+		s.depart(ev.Actor, uint32(ev.Payload))
+	case evArrive:
+		s.arrive()
+	case evInject:
+		s.inject()
+	case evSample:
+		s.sample()
+	case evSnapshot:
+		s.recordSnapshot(s.cfg.SnapshotTimes[ev.Payload])
+	}
 }
 
 func (s *simulation) muOf(id int) float64 {
@@ -310,23 +372,46 @@ func (s *simulation) muOf(id int) float64 {
 	return s.cfg.DefaultMu
 }
 
-func (s *simulation) addPeer(id int, mu float64) error {
+// addPeer interns id into a dense peer index (recycling a departed slot if
+// one is free), opens its ledger account and arms its first spend.
+func (s *simulation) addPeer(id int, mu float64) (int32, error) {
 	if mu <= 0 || math.IsNaN(mu) {
-		return fmt.Errorf("%w: mu %v for peer %d", ErrBadConfig, mu, id)
+		return 0, fmt.Errorf("%w: mu %v for peer %d", ErrBadConfig, mu, id)
 	}
-	if err := s.ledger.Open(id, s.cfg.InitialWealth); err != nil {
-		return err
+	acct, err := s.ledger.OpenSlot(id, s.cfg.InitialWealth)
+	if err != nil {
+		return 0, err
 	}
-	p := &peerState{baseMu: mu, dirty: true, idle: true}
-	s.peers[id] = p
+	var px int32
+	if n := len(s.freePx); n > 0 {
+		px = s.freePx[n-1]
+		s.freePx = s.freePx[:n-1]
+	} else {
+		s.peers = append(s.peers, peerState{})
+		px = int32(len(s.peers) - 1)
+	}
+	p := &s.peers[px]
+	*p = peerState{
+		id:      id,
+		acct:    acct,
+		gen:     p.gen, // survives slot reuse, invalidating stale events
+		alive:   true,
+		idle:    true,
+		dirty:   true,
+		baseMu:  mu,
+		nbrs:    p.nbrs[:0],
+		weights: p.weights[:0],
+	}
+	s.idx[id] = px
+	s.nLive++
 	if s.cfg.InitialWealth > 0 {
-		s.scheduleSpend(id, p, s.cfg.InitialWealth)
+		s.scheduleSpend(px, p, s.cfg.InitialWealth)
 	}
-	return nil
+	return px, nil
 }
 
 // scheduleSpend arms the next spend event for a solvent peer.
-func (s *simulation) scheduleSpend(id int, p *peerState, balance int64) {
+func (s *simulation) scheduleSpend(px int32, p *peerState, balance int64) {
 	rate := p.baseMu
 	if s.cfg.Spending != nil {
 		rate = s.cfg.Spending.Rate(p.baseMu, balance)
@@ -336,31 +421,32 @@ func (s *simulation) scheduleSpend(id int, p *peerState, balance int64) {
 		return
 	}
 	delay := s.rng.Exponential(rate)
-	ev, err := s.sched.Schedule(delay, func() { s.spend(id) })
+	h, err := s.sched.Schedule(delay, evSpend, px, int64(p.gen))
 	if err != nil {
 		// Schedule relative to now with non-negative delay cannot fail;
 		// treat as idle defensively.
 		p.idle = true
 		return
 	}
-	p.pending = ev
+	p.pending = h
 	p.idle = false
 }
 
-// spend executes one credit departure from peer id.
-func (s *simulation) spend(id int) {
-	p, ok := s.peers[id]
-	if !ok {
+// spend executes one credit departure from the peer at index px.
+func (s *simulation) spend(px int32, gen uint32) {
+	p := &s.peers[px]
+	if !p.alive || p.gen != gen {
 		return // departed between scheduling and firing
 	}
-	balance, err := s.ledger.Balance(id)
-	if err != nil || balance <= 0 {
+	balance := s.ledger.BalanceAt(p.acct)
+	if balance <= 0 {
 		p.idle = true
 		return
 	}
-	target, ok := s.pickNeighbor(id, p)
+	target, ok := s.pickNeighbor(p)
 	if ok {
-		if err := s.ledger.Transfer(id, target, 1); err == nil {
+		q := &s.peers[target]
+		if s.ledger.TryTransferAt(p.acct, q.acct, 1) {
 			s.res.SpendEvents++
 			if s.sched.Now() >= s.cfg.MeasureStart {
 				p.spends++
@@ -370,11 +456,15 @@ func (s *simulation) spend(id int) {
 				p.addInventory(s.sched.Now(), s.cfg.AvailabilityTau)
 			}
 			s.receiveIncome(target, 1)
-			balance--
+			// receiveIncome may have taxed the payee and redistributed
+			// credits back to this spender, so the locally decremented
+			// balance would be stale — a spender could strand idle while
+			// solvent. Re-read the ledger before deciding.
+			balance = s.ledger.BalanceAt(p.acct)
 		}
 	}
 	if balance > 0 {
-		s.scheduleSpend(id, p, balance)
+		s.scheduleSpend(px, p, balance)
 	} else {
 		p.idle = true
 	}
@@ -382,54 +472,55 @@ func (s *simulation) spend(id int) {
 
 // receiveIncome handles a payment or redistribution landing at a peer:
 // taxation and waking an idle peer.
-func (s *simulation) receiveIncome(id int, amount int64) {
-	p, ok := s.peers[id]
-	if !ok {
+func (s *simulation) receiveIncome(px int32, amount int64) {
+	p := &s.peers[px]
+	if !p.alive {
 		return
 	}
-	balance, err := s.ledger.Balance(id)
-	if err != nil {
-		return
-	}
+	balance := s.ledger.BalanceAt(p.acct)
 	if s.cfg.Tax != nil {
 		preIncome := balance - amount
 		if taxed := s.cfg.Tax.TaxIncome(preIncome, amount, s.rng); taxed > 0 {
-			if err := s.ledger.Transfer(id, collectorID, taxed); err == nil {
+			if s.ledger.TryTransferAt(p.acct, s.collector, taxed) {
 				balance -= taxed
 				s.redistribute()
 			}
 		}
 	}
 	if p.idle && balance > 0 {
-		s.scheduleSpend(id, p, balance)
+		s.scheduleSpend(px, p, balance)
 	}
 }
 
 // redistribute pays one credit to every peer per full collection round
 // (Sec. VI-C: "whenever the system has collected N units, it returns a unit
-// to each peer").
+// to each peer"). Peers are visited in dense index order, so equal seeds
+// redistribute identically.
 func (s *simulation) redistribute() {
-	n := len(s.peers)
-	rounds := s.cfg.Tax.Redistribute(n)
+	rounds := s.cfg.Tax.Redistribute(s.nLive)
 	if rounds == 0 {
 		return
 	}
-	for id, p := range s.peers {
-		if err := s.ledger.Transfer(collectorID, id, rounds); err != nil {
+	for px := range s.peers {
+		p := &s.peers[px]
+		if !p.alive {
+			continue
+		}
+		if !s.ledger.TryTransferAt(s.collector, p.acct, rounds) {
 			continue
 		}
 		if p.idle {
-			if b, err := s.ledger.Balance(id); err == nil && b > 0 {
-				s.scheduleSpend(id, p, b)
+			if b := s.ledger.BalanceAt(p.acct); b > 0 {
+				s.scheduleSpend(int32(px), p, b)
 			}
 		}
 	}
 }
 
 // pickNeighbor samples the purchase target according to the routing policy.
-func (s *simulation) pickNeighbor(id int, p *peerState) (int, bool) {
+func (s *simulation) pickNeighbor(p *peerState) (int32, bool) {
 	if p.dirty {
-		s.rebuildWeights(id, p)
+		s.rebuildWeights(p)
 	}
 	if len(p.nbrs) == 0 {
 		return 0, false
@@ -444,11 +535,8 @@ func (s *simulation) pickNeighbor(id int, p *peerState) (int, bool) {
 		}
 		p.weights = p.weights[:len(p.nbrs)]
 		for i, nb := range p.nbrs {
-			w := s.cfg.AvailabilityFloor
-			if q, ok := s.peers[nb]; ok {
-				w += q.inventory(now, s.cfg.AvailabilityTau)
-			}
-			p.weights[i] = w
+			p.weights[i] = s.cfg.AvailabilityFloor +
+				s.peers[nb].inventory(now, s.cfg.AvailabilityTau)
 		}
 	}
 	idx, err := xrand.SampleWeighted(s.rng, p.weights)
@@ -458,35 +546,47 @@ func (s *simulation) pickNeighbor(id int, p *peerState) (int, bool) {
 	return p.nbrs[idx], true
 }
 
-func (s *simulation) rebuildWeights(id int, p *peerState) {
-	p.nbrs = s.g.Neighbors(id)
+// rebuildWeights refreshes the cached neighbor indices (and degree weights)
+// of a peer whose neighborhood changed.
+func (s *simulation) rebuildWeights(p *peerState) {
+	p.nbrs = p.nbrs[:0]
+	s.nbrScratch = s.g.AppendNeighbors(s.nbrScratch[:0], p.id)
+	for _, nb := range s.nbrScratch {
+		if px, ok := s.idx[nb]; ok {
+			p.nbrs = append(p.nbrs, px)
+		}
+	}
 	p.dirty = false
 	if s.cfg.Routing != RouteDegreeWeighted {
-		p.weights = nil
+		p.weights = p.weights[:0]
 		return
 	}
-	p.weights = make([]float64, len(p.nbrs))
+	if cap(p.weights) < len(p.nbrs) {
+		p.weights = make([]float64, len(p.nbrs))
+	}
+	p.weights = p.weights[:len(p.nbrs)]
 	for i, nb := range p.nbrs {
-		p.weights[i] = float64(s.g.Degree(nb))
+		p.weights[i] = float64(s.g.Degree(s.peers[nb].id))
 	}
 }
 
 // markNeighborhoodDirty invalidates cached weights around a node whose
 // incident edges changed.
 func (s *simulation) markNeighborhoodDirty(id int) {
-	for _, nb := range s.g.Neighbors(id) {
-		if q, ok := s.peers[nb]; ok {
-			q.dirty = true
+	s.nbrScratch = s.g.AppendNeighbors(s.nbrScratch[:0], id)
+	for _, nb := range s.nbrScratch {
+		if px, ok := s.idx[nb]; ok {
+			s.peers[px].dirty = true
 		}
 	}
-	if p, ok := s.peers[id]; ok {
-		p.dirty = true
+	if px, ok := s.idx[id]; ok {
+		s.peers[px].dirty = true
 	}
 }
 
 func (s *simulation) scheduleArrival() error {
 	delay := s.rng.Exponential(s.cfg.Churn.ArrivalRate)
-	_, err := s.sched.Schedule(delay, s.arrive)
+	_, err := s.sched.Schedule(delay, evArrive, -1, 0)
 	return err
 }
 
@@ -504,10 +604,10 @@ func (s *simulation) arrive() {
 		if s.cfg.JoinMu != nil {
 			mu = s.cfg.JoinMu(s.rng)
 		}
-		if err := s.addPeer(id, mu); err == nil {
+		if px, err := s.addPeer(id, mu); err == nil {
 			s.res.Joins++
 			s.markNeighborhoodDirty(id)
-			s.scheduleDeparture(id)
+			s.scheduleDeparture(px)
 		}
 	}
 	// Keep the arrival process running regardless of individual failures.
@@ -516,55 +616,59 @@ func (s *simulation) arrive() {
 	}
 }
 
-// scheduleInjection arms the periodic minting of fresh credits.
-func (s *simulation) scheduleInjection() error {
-	var inject func()
-	inject = func() {
-		for id, p := range s.peers {
-			if err := s.ledger.Deposit(id, s.cfg.Inject.Amount); err != nil {
-				continue
-			}
-			s.res.Injected += s.cfg.Inject.Amount
-			if p.idle {
-				if b, err := s.ledger.Balance(id); err == nil && b > 0 {
-					s.scheduleSpend(id, p, b)
-				}
-			}
+// inject mints the periodic credit round into every live peer's pool, in
+// dense index order.
+func (s *simulation) inject() {
+	for px := range s.peers {
+		p := &s.peers[px]
+		if !p.alive {
+			continue
 		}
-		if s.sched.Now()+s.cfg.Inject.Period <= s.cfg.Horizon {
-			if _, err := s.sched.Schedule(s.cfg.Inject.Period, inject); err != nil {
-				return
+		if err := s.ledger.DepositAt(p.acct, s.cfg.Inject.Amount); err != nil {
+			continue
+		}
+		s.res.Injected += s.cfg.Inject.Amount
+		if p.idle {
+			if b := s.ledger.BalanceAt(p.acct); b > 0 {
+				s.scheduleSpend(int32(px), p, b)
 			}
 		}
 	}
-	_, err := s.sched.Schedule(s.cfg.Inject.Period, inject)
-	return err
+	if s.sched.Now()+s.cfg.Inject.Period <= s.cfg.Horizon {
+		if _, err := s.sched.Schedule(s.cfg.Inject.Period, evInject, -1, 0); err != nil {
+			return
+		}
+	}
 }
 
-func (s *simulation) scheduleDeparture(id int) {
+func (s *simulation) scheduleDeparture(px int32) {
 	life := s.rng.Exponential(1 / s.cfg.Churn.MeanLifespan)
-	if _, err := s.sched.Schedule(life, func() { s.depart(id) }); err != nil {
+	if _, err := s.sched.Schedule(life, evDepart, px, int64(s.peers[px].gen)); err != nil {
 		return
 	}
 }
 
-func (s *simulation) depart(id int) {
-	p, ok := s.peers[id]
-	if !ok {
+func (s *simulation) depart(px int32, gen uint32) {
+	p := &s.peers[px]
+	if !p.alive || p.gen != gen {
 		return
 	}
 	// Keep at least a seed of peers alive so the market never empties.
-	if len(s.peers) <= 2 {
-		s.scheduleDeparture(id)
+	if s.nLive <= 2 {
+		s.scheduleDeparture(px)
 		return
 	}
-	p.pending.Cancel()
-	s.markNeighborhoodDirty(id)
-	delete(s.peers, id)
-	if _, err := s.ledger.Close(id); err != nil {
+	s.sched.Cancel(p.pending)
+	s.markNeighborhoodDirty(p.id)
+	p.alive = false
+	p.gen++
+	s.nLive--
+	delete(s.idx, p.id)
+	s.freePx = append(s.freePx, px)
+	if _, err := s.ledger.Close(p.id); err != nil {
 		return
 	}
-	if err := s.g.RemoveNode(id); err != nil {
+	if err := s.g.RemoveNode(p.id); err != nil {
 		return
 	}
 	s.res.Departures++
@@ -572,37 +676,41 @@ func (s *simulation) depart(id int) {
 
 // scheduleMetrics arms the periodic Gini sampler and the snapshot events.
 func (s *simulation) scheduleMetrics() error {
-	var sample func()
-	sample = func() {
-		s.recordSample()
-		if s.sched.Now()+s.cfg.SampleEvery <= s.cfg.Horizon {
-			if _, err := s.sched.Schedule(s.cfg.SampleEvery, sample); err != nil {
-				return
-			}
-		}
-	}
-	if _, err := s.sched.Schedule(s.cfg.SampleEvery, sample); err != nil {
+	if _, err := s.sched.Schedule(s.cfg.SampleEvery, evSample, -1, 0); err != nil {
 		return err
 	}
-	for _, at := range s.cfg.SnapshotTimes {
+	for i, at := range s.cfg.SnapshotTimes {
 		if at < 0 || at > s.cfg.Horizon {
 			return fmt.Errorf("%w: snapshot time %v outside [0, %v]", ErrBadConfig, at, s.cfg.Horizon)
 		}
-		at := at
-		if _, err := s.sched.ScheduleAt(at, func() { s.recordSnapshot(at) }); err != nil {
+		if _, err := s.sched.ScheduleAt(at, evSnapshot, -1, int64(i)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (s *simulation) wealthVector() []float64 {
-	out := make([]float64, 0, len(s.peers))
-	for id := range s.peers {
-		if b, err := s.ledger.Balance(id); err == nil {
-			out = append(out, float64(b))
+func (s *simulation) sample() {
+	s.recordSample()
+	if s.sched.Now()+s.cfg.SampleEvery <= s.cfg.Horizon {
+		if _, err := s.sched.Schedule(s.cfg.SampleEvery, evSample, -1, 0); err != nil {
+			return
 		}
 	}
+}
+
+// wealthVector fills the reused scratch buffer with the live peers' balances
+// in dense index order.
+func (s *simulation) wealthVector() []float64 {
+	out := s.wealthBuf[:0]
+	for px := range s.peers {
+		p := &s.peers[px]
+		if !p.alive {
+			continue
+		}
+		out = append(out, float64(s.ledger.BalanceAt(p.acct)))
+	}
+	s.wealthBuf = out
 	return out
 }
 
@@ -611,10 +719,11 @@ func (s *simulation) recordSample() {
 	if len(wealth) == 0 {
 		return
 	}
-	if g, err := stats.Gini(wealth); err == nil {
+	n := len(wealth)
+	if g, err := stats.GiniInPlace(wealth); err == nil {
 		s.res.Gini.Add(s.sched.Now(), g)
 	}
-	s.res.Population.Add(s.sched.Now(), float64(len(wealth)))
+	s.res.Population.Add(s.sched.Now(), float64(n))
 	s.res.Supply.Add(s.sched.Now(), float64(s.ledger.Total()))
 }
 
@@ -630,19 +739,19 @@ func (s *simulation) finish() error {
 		return fmt.Errorf("market: conservation violated: %w", err)
 	}
 	window := s.cfg.Horizon - s.cfg.MeasureStart
-	for id, p := range s.peers {
-		b, err := s.ledger.Balance(id)
-		if err != nil {
-			return err
+	for px := range s.peers {
+		p := &s.peers[px]
+		if !p.alive {
+			continue
 		}
-		s.res.FinalWealth[id] = b
+		s.res.FinalWealth[p.id] = s.ledger.BalanceAt(p.acct)
 		if window > 0 {
-			s.res.SpendingRate[id] = float64(p.spends) / window
+			s.res.SpendingRate[p.id] = float64(p.spends) / window
 		}
 	}
 	wealth := s.wealthVector()
 	if len(wealth) > 0 {
-		g, err := stats.Gini(wealth)
+		g, err := stats.GiniInPlace(wealth)
 		if err != nil {
 			return err
 		}

@@ -26,18 +26,25 @@ var ErrNegative = errors.New("stats: negative value")
 // An all-zero sample is perfectly equal and yields 0. Negative values are an
 // error. The input is not modified.
 func Gini(values []float64) (float64, error) {
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	return GiniInPlace(sorted)
+}
+
+// GiniInPlace is Gini without the defensive copy: it sorts values in place
+// and allocates nothing. Simulation hot loops that sample the Gini over a
+// reused scratch buffer call this variant.
+func GiniInPlace(values []float64) (float64, error) {
 	n := len(values)
 	if n == 0 {
 		return 0, ErrEmpty
 	}
-	sorted := make([]float64, n)
-	copy(sorted, values)
-	sort.Float64s(sorted)
-	if sorted[0] < 0 {
-		return 0, fmt.Errorf("%w: %v", ErrNegative, sorted[0])
+	sort.Float64s(values)
+	if values[0] < 0 {
+		return 0, fmt.Errorf("%w: %v", ErrNegative, values[0])
 	}
 	var total, weighted float64
-	for i, v := range sorted {
+	for i, v := range values {
 		total += v
 		weighted += float64(2*(i+1)-n-1) * v
 	}

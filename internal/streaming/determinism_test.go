@@ -1,0 +1,109 @@
+package streaming
+
+import (
+	"testing"
+
+	"creditp2p/internal/credit"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/xrand"
+)
+
+// TestGoldenDeterminism runs the streaming market twice per configuration
+// with the same seed and demands identical Results: every per-peer rate,
+// continuity value, balance and series sample.
+func TestGoldenDeterminism(t *testing.T) {
+	type variant struct {
+		name    string
+		pricing func(g *topology.Graph) credit.Pricing
+		caps    map[int]int
+	}
+	variants := []variant{
+		{name: "uniform", pricing: nil},
+		{name: "per-seller-poisson", pricing: func(g *topology.Graph) credit.Pricing {
+			r := xrand.New(77)
+			prices := make(map[int]int64, g.NumNodes())
+			for _, id := range g.Nodes() {
+				prices[id] = int64(r.Poisson(1))
+			}
+			return credit.PerPeerPricing{Prices: prices, Default: 1}
+		}},
+		{name: "per-chunk-poisson", pricing: func(*topology.Graph) credit.Pricing {
+			p, err := credit.NewPoissonPricing(1, 0, xrand.New(79))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{name: "heterogeneous-upload", pricing: nil, caps: map[int]int{0: 3, 4: 2, 8: 5}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			run := func() *Result {
+				g, err := topology.RandomRegular(80, 8, xrand.New(501))
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := Config{
+					Graph:          g,
+					StreamRate:     2,
+					DelaySeconds:   8,
+					UploadCap:      1,
+					DownloadCap:    3,
+					UploadCapOf:    v.caps,
+					SourceSeeds:    3,
+					InitialWealth:  15,
+					HorizonSeconds: 200,
+					Seed:           502,
+				}
+				if v.pricing != nil {
+					cfg.Pricing = v.pricing(g)
+				}
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			a, b := run(), run()
+			if a.ChunksTraded != b.ChunksTraded || a.ChunksSeeded != b.ChunksSeeded || a.Stalls != b.Stalls {
+				t.Errorf("counters differ: traded %d/%d seeded %d/%d stalls %d/%d",
+					a.ChunksTraded, b.ChunksTraded, a.ChunksSeeded, b.ChunksSeeded, a.Stalls, b.Stalls)
+			}
+			if a.GiniSpending != b.GiniSpending || a.GiniWealth != b.GiniWealth {
+				t.Errorf("ginis differ: %v/%v vs %v/%v",
+					a.GiniSpending, a.GiniWealth, b.GiniSpending, b.GiniWealth)
+			}
+			if a.WealthGini.Len() != b.WealthGini.Len() {
+				t.Fatalf("series lengths differ: %d vs %d", a.WealthGini.Len(), b.WealthGini.Len())
+			}
+			for i := range a.WealthGini.Values {
+				if a.WealthGini.Values[i] != b.WealthGini.Values[i] {
+					t.Fatalf("wealth-gini sample %d differs", i)
+				}
+			}
+			if len(a.FinalWealth) != len(b.FinalWealth) {
+				t.Fatalf("final wealth sizes differ")
+			}
+			for id, wa := range a.FinalWealth {
+				if b.FinalWealth[id] != wa {
+					t.Fatalf("wealth differs at peer %d: %d vs %d", id, wa, b.FinalWealth[id])
+				}
+			}
+			for id, ra := range a.SpendingRate {
+				if b.SpendingRate[id] != ra {
+					t.Fatalf("spending rate differs at peer %d", id)
+				}
+			}
+			for id, ca := range a.Continuity {
+				if b.Continuity[id] != ca {
+					t.Fatalf("continuity differs at peer %d", id)
+				}
+			}
+			for id, da := range a.DownloadRate {
+				if b.DownloadRate[id] != da {
+					t.Fatalf("download rate differs at peer %d", id)
+				}
+			}
+		})
+	}
+}

@@ -9,11 +9,18 @@
 // protocol feedback the paper's Fig. 1 relies on: a bankrupt peer cannot
 // buy, soon has nothing fresh to sell, loses its income, and its playback
 // and spending rate collapse — the condensation failure mode in the wild.
+//
+// Peer state is flat: overlay ids are interned to dense indices once at
+// startup, balances live in dense ledger slots, and each peer's buffer map
+// is a ring over the playback window (chunk lifetimes are bounded by the
+// playback delay, so a slot is recycled only after its chunk is evicted).
+// The per-round trading pass runs without map lookups or allocations.
 package streaming
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"creditp2p/internal/credit"
 	"creditp2p/internal/stats"
@@ -124,40 +131,86 @@ type Result struct {
 	Stalls uint64
 }
 
+// peer is the dense per-peer record. Chunk possession is a ring bitmap over
+// the playback window plus a sample list for buffer-map probes.
 type peer struct {
-	id    int
-	nbrs  []int
-	upCap int
-	have  map[int]bool
-	// haveList mirrors have for deterministic random sampling (buffer-map
-	// probes); evicted entries are pruned lazily.
+	acct     int32 // dense ledger slot
+	upCap    int32
+	upUsed   int32
+	downUsed int32
+	nbrs     []int32 // neighbor peer indices
+	// have is the window ring: have[ringIdx(chunk)] holds the id of the
+	// possessed chunk occupying that slot, or noChunk. Chunks live at most
+	// (DelaySeconds+1)*StreamRate ids before eviction, so live chunks map
+	// to distinct slots; storing the id keeps possession checks exact even
+	// for stale haveList entries whose slot a newer chunk has taken over.
+	have []int
+	// haveCount is the number of chunks currently held.
+	haveCount int
+	// haveList mirrors the ring for deterministic random sampling
+	// (buffer-map probes); evicted entries are pruned lazily.
 	haveList []int
-	upUsed   int
-	downUsed int
 	spent    int64 // credits spent inside the measurement window
 	bought   int   // chunks bought inside the window
 	played   int
 	missed   int
 }
 
+// sim carries the flat state shared by the round phases.
+type sim struct {
+	cfg     Config
+	peers   []peer
+	ids     []int // dense index -> overlay id
+	// ringLen is the window ring size: the smallest power of two covering
+	// the chunk lifetime (DelaySeconds+1)*StreamRate, so the slot of a
+	// chunk is a mask instead of a modulo.
+	ringLen  int
+	ringMask int
+	ringOff  int // added to chunk ids so pre-roll chunks index >= 0
+	// price quotes, pre-resolved per seller when the scheme allows it.
+	sellerPrice []int64
+	pricing     credit.Pricing // nil when sellerPrice is active
+}
+
+// noChunk marks an empty ring slot; valid chunk ids (>= -DelaySeconds *
+// StreamRate) are always greater. math.MinInt stays representable on
+// 32-bit platforms.
+const noChunk = math.MinInt
+
+// ringIdx maps a chunk id to its window slot.
+func (s *sim) ringIdx(chunk int) int { return (chunk + s.ringOff) & s.ringMask }
+
+// has reports possession of chunk for the peer.
+func (s *sim) has(p *peer, chunk int) bool { return p.have[s.ringIdx(chunk)] == chunk }
+
 // addChunk records possession of a chunk.
-func (p *peer) addChunk(chunk int) {
-	p.have[chunk] = true
+func (s *sim) addChunk(p *peer, chunk int) {
+	p.have[s.ringIdx(chunk)] = chunk
+	p.haveCount++
 	p.haveList = append(p.haveList, chunk)
 }
 
 // compact prunes evicted chunks from haveList once staleness dominates.
-func (p *peer) compact() {
-	if len(p.haveList) <= 4*len(p.have)+16 {
+func (s *sim) compact(p *peer) {
+	if len(p.haveList) <= 4*p.haveCount+16 {
 		return
 	}
 	fresh := p.haveList[:0]
 	for _, c := range p.haveList {
-		if p.have[c] {
+		if s.has(p, c) {
 			fresh = append(fresh, c)
 		}
 	}
 	p.haveList = fresh
+}
+
+// price quotes seller's price for chunk through the fast path when the
+// scheme is per-seller flat, falling back to the Pricing interface.
+func (s *sim) price(seller int32, chunk int) int64 {
+	if s.sellerPrice != nil {
+		return s.sellerPrice[seller]
+	}
+	return s.pricing.Price(s.ids[seller], chunk)
 }
 
 // Run executes the simulation.
@@ -168,9 +221,40 @@ func Run(cfg Config) (*Result, error) {
 	rng := xrand.New(cfg.Seed)
 	ledger := credit.NewLedger()
 	ids := cfg.Graph.Nodes()
-	peers := make(map[int]*peer, len(ids))
-	for _, id := range ids {
-		if err := ledger.Open(id, cfg.InitialWealth); err != nil {
+	n := len(ids)
+	idx := make(map[int]int32, n)
+	for i, id := range ids {
+		idx[id] = int32(i)
+	}
+	ringLen := 1
+	for ringLen < (cfg.DelaySeconds+1)*cfg.StreamRate {
+		ringLen <<= 1
+	}
+	s := &sim{
+		cfg:      cfg,
+		peers:    make([]peer, n),
+		ids:      ids,
+		ringLen:  ringLen,
+		ringMask: ringLen - 1,
+		ringOff:  cfg.DelaySeconds * cfg.StreamRate,
+	}
+	// Bulk-allocate the per-peer window rings, neighbor lists and buffer-map
+	// sample lists as slices of three shared slabs instead of 3n small
+	// allocations. listCap bounds haveList growth: compaction (once per
+	// round) trims it to haveCount <= ringLen whenever it exceeds
+	// 4*haveCount+16, and a round adds at most DownloadCap purchases plus
+	// the source pushes, so a list never outgrows its slab segment.
+	rings := make([]int, n*s.ringLen)
+	for i := range rings {
+		rings[i] = noChunk
+	}
+	nbrSlab := make([]int32, 0, 2*cfg.Graph.NumEdges())
+	listCap := 4*s.ringLen + 16 + cfg.DownloadCap + cfg.SourceSeeds*cfg.StreamRate
+	lists := make([]int, n*listCap)
+	var nbrScratch []int
+	for i, id := range ids {
+		acct, err := ledger.OpenSlot(id, cfg.InitialWealth)
+		if err != nil {
 			return nil, err
 		}
 		upCap := cfg.UploadCap
@@ -180,31 +264,57 @@ func Run(cfg Config) (*Result, error) {
 			}
 			upCap = v
 		}
-		peers[id] = &peer{
-			id:    id,
-			nbrs:  cfg.Graph.Neighbors(id),
-			upCap: upCap,
-			have:  make(map[int]bool),
+		p := &s.peers[i]
+		p.acct = acct
+		p.upCap = int32(upCap)
+		p.have = rings[i*s.ringLen : (i+1)*s.ringLen : (i+1)*s.ringLen]
+		p.haveList = lists[i*listCap : i*listCap : (i+1)*listCap]
+		nbrScratch = cfg.Graph.AppendNeighbors(nbrScratch[:0], id)
+		start := len(nbrSlab)
+		for _, nb := range nbrScratch {
+			nbrSlab = append(nbrSlab, idx[nb])
 		}
+		p.nbrs = nbrSlab[start:len(nbrSlab):len(nbrSlab)]
+	}
+	// Pre-resolve per-seller flat prices so the trading loop skips the
+	// interface call and map lookup per probe. Schemes whose price depends
+	// on the chunk or on sale history stay behind the interface.
+	switch pr := cfg.Pricing.(type) {
+	case credit.UniformPricing:
+		s.sellerPrice = make([]int64, n)
+		for i := range s.sellerPrice {
+			s.sellerPrice[i] = pr.Credits
+		}
+	case credit.PerPeerPricing:
+		s.sellerPrice = make([]int64, n)
+		for i, id := range ids {
+			s.sellerPrice[i] = pr.Price(id, 0)
+		}
+	default:
+		s.pricing = cfg.Pricing
 	}
 	res := &Result{
-		SpendingRate: make(map[int]float64, len(ids)),
-		DownloadRate: make(map[int]float64, len(ids)),
-		Continuity:   make(map[int]float64, len(ids)),
-		FinalWealth:  make(map[int]int64, len(ids)),
+		SpendingRate: make(map[int]float64, n),
+		DownloadRate: make(map[int]float64, n),
+		Continuity:   make(map[int]float64, n),
+		FinalWealth:  make(map[int]int64, n),
 		WealthGini:   trace.NewSeries("wealth-gini"),
 	}
 	// Warm start: every peer holds the full pre-roll window (chunk ids
 	// below 0), as if the swarm has already been streaming healthily. A
 	// cold start would stratify income by degree during the initial
 	// scramble — an artifact the paper's long-run measurements exclude.
-	for _, p := range peers {
+	for i := range s.peers {
+		p := &s.peers[i]
 		for chunk := -cfg.DelaySeconds * cfg.StreamRate; chunk < 0; chunk++ {
-			p.addChunk(chunk)
+			s.addChunk(p, chunk)
 		}
 	}
-	order := make([]int, len(ids))
-	copy(order, ids)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	wealthBuf := make([]float64, n)
 
 	for t := 0; t < cfg.HorizonSeconds; t++ {
 		inWindow := t >= cfg.MeasureStartSeconds
@@ -213,20 +323,20 @@ func Run(cfg Config) (*Result, error) {
 		// random peers for free.
 		for k := 0; k < cfg.StreamRate; k++ {
 			chunk := t*cfg.StreamRate + k
-			for s := 0; s < cfg.SourceSeeds; s++ {
-				p := peers[ids[rng.Intn(len(ids))]]
-				if !p.have[chunk] {
-					p.addChunk(chunk)
+			for sd := 0; sd < cfg.SourceSeeds; sd++ {
+				p := &s.peers[rng.Intn(n)]
+				if !s.has(p, chunk) {
+					s.addChunk(p, chunk)
 					res.ChunksSeeded++
 				}
 			}
 		}
 
 		// 2. Reset per-round capacities; randomize buyer order for fairness.
-		for _, p := range peers {
-			p.upUsed, p.downUsed = 0, 0
+		for i := range s.peers {
+			s.peers[i].upUsed, s.peers[i].downUsed = 0, 0
 		}
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 
 		// 3. Trading pass: each buyer samples neighbors' buffer maps and
 		// buys useful window chunks (mesh-pull with limited gossip).
@@ -234,55 +344,66 @@ func Run(cfg Config) (*Result, error) {
 		if playhead < 0 {
 			playhead = 0
 		}
-		for _, id := range order {
-			p := peers[id]
-			if len(p.nbrs) == 0 || p.downUsed >= cfg.DownloadCap {
+		downCap := int32(cfg.DownloadCap)
+		ringOff := s.ringOff
+		freshSpan := 4 * cfg.StreamRate
+		for _, bi := range order {
+			p := &s.peers[bi]
+			if len(p.nbrs) == 0 || p.downUsed >= downCap {
 				continue
 			}
-			balance, err := ledger.Balance(id)
-			if err != nil {
-				return nil, err
-			}
+			balance := ledger.BalanceAt(p.acct)
+			pHave := p.have
 			// Visit neighbors starting from a random offset, in two sweeps:
 			// idle sellers first (least-loaded request routing, as real
 			// mesh protocols do for load balancing), then anyone with
 			// spare upload capacity.
 			offset := rng.Intn(len(p.nbrs))
-			for sweep := 0; sweep < 2 && p.downUsed < cfg.DownloadCap; sweep++ {
-				for ni := 0; ni < len(p.nbrs) && p.downUsed < cfg.DownloadCap; ni++ {
-					seller := p.nbrs[(offset+ni)%len(p.nbrs)]
-					q, ok := peers[seller]
-					if !ok || len(q.haveList) == 0 {
+			for sweep := 0; sweep < 2 && p.downUsed < downCap; sweep++ {
+				cursor := offset
+				for ni := 0; ni < len(p.nbrs) && p.downUsed < downCap; ni++ {
+					si := p.nbrs[cursor]
+					cursor++
+					if cursor == len(p.nbrs) {
+						cursor = 0
+					}
+					q := &s.peers[si]
+					if len(q.haveList) == 0 {
 						continue
 					}
 					if sweep == 0 && q.upUsed > 0 {
 						continue
 					}
+					qHave := q.have
 					for probe := 0; probe < cfg.ProbesPerNeighbor &&
-						p.downUsed < cfg.DownloadCap && q.upUsed < q.upCap; probe++ {
+						p.downUsed < downCap && q.upUsed < q.upCap; probe++ {
 						// Alternate between the seller's freshest
 						// acquisitions (what a buyer most likely misses)
 						// and uniform window samples.
 						var chunk int
-						if probe%2 == 0 {
+						if probe&1 == 0 {
 							tail := len(q.haveList)
 							span := tail
-							if span > 4*cfg.StreamRate {
-								span = 4 * cfg.StreamRate
+							if span > freshSpan {
+								span = freshSpan
 							}
 							chunk = q.haveList[tail-1-rng.Intn(span)]
 						} else {
 							chunk = q.haveList[rng.Intn(len(q.haveList))]
 						}
-						if !q.have[chunk] || chunk < playhead || p.have[chunk] {
+						// Inlined possession checks; the &(len-1) form lets
+						// the compiler elide the ring bounds checks.
+						if qHave[(chunk+ringOff)&(len(qHave)-1)] != chunk ||
+							chunk < playhead ||
+							pHave[(chunk+ringOff)&(len(pHave)-1)] == chunk {
 							continue
 						}
-						price := cfg.Pricing.Price(seller, chunk)
+						price := s.price(si, chunk)
 						if price > balance {
 							continue
 						}
 						if price > 0 {
-							if err := ledger.Transfer(id, seller, price); err != nil {
+							if !ledger.TryTransferAt(p.acct, q.acct, price) {
 								continue
 							}
 							balance -= price
@@ -290,7 +411,7 @@ func Run(cfg Config) (*Result, error) {
 								p.spent += price
 							}
 						}
-						p.addChunk(chunk)
+						s.addChunk(p, chunk)
 						q.upUsed++
 						p.downUsed++
 						if inWindow {
@@ -306,10 +427,13 @@ func Run(cfg Config) (*Result, error) {
 		// window; present means played, absent means a stall. Pre-roll
 		// chunks (negative ids) are evicted like any others.
 		evictBelow := (t + 1 - cfg.DelaySeconds) * cfg.StreamRate
-		for _, p := range peers {
+		for i := range s.peers {
+			p := &s.peers[i]
 			for chunk := evictBelow - cfg.StreamRate; chunk < evictBelow; chunk++ {
-				if p.have[chunk] {
-					delete(p.have, chunk)
+				ri := s.ringIdx(chunk)
+				if p.have[ri] == chunk {
+					p.have[ri] = noChunk
+					p.haveCount--
 					if inWindow {
 						p.played++
 					}
@@ -318,12 +442,15 @@ func Run(cfg Config) (*Result, error) {
 					res.Stalls++
 				}
 			}
-			p.compact()
+			s.compact(p)
 		}
 
-		// 5. Periodic wealth-Gini sample.
+		// 5. Periodic wealth-Gini sample over the reused scratch buffer.
 		if t%100 == 0 {
-			if g, err := wealthGini(ledger, ids); err == nil {
+			for i := range s.peers {
+				wealthBuf[i] = float64(ledger.BalanceAt(s.peers[i].acct))
+			}
+			if g, err := stats.GiniInPlace(wealthBuf); err == nil {
 				res.WealthGini.Add(float64(t), g)
 			}
 		}
@@ -331,20 +458,16 @@ func Run(cfg Config) (*Result, error) {
 
 	// Final metrics.
 	window := float64(cfg.HorizonSeconds - cfg.MeasureStartSeconds)
-	spendVec := make([]float64, 0, len(ids))
-	for _, id := range ids {
-		p := peers[id]
+	spendVec := make([]float64, 0, n)
+	for i, id := range ids {
+		p := &s.peers[i]
 		res.SpendingRate[id] = float64(p.spent) / window
 		res.DownloadRate[id] = float64(p.bought) / window
 		total := p.played + p.missed
 		if total > 0 {
 			res.Continuity[id] = float64(p.played) / float64(total)
 		}
-		b, err := ledger.Balance(id)
-		if err != nil {
-			return nil, err
-		}
-		res.FinalWealth[id] = b
+		res.FinalWealth[id] = ledger.BalanceAt(p.acct)
 		spendVec = append(spendVec, res.SpendingRate[id])
 	}
 	if err := ledger.CheckConservation(); err != nil {
@@ -355,30 +478,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.GiniWealth, err = wealthGini(ledger, ids)
+	for i := range s.peers {
+		wealthBuf[i] = float64(ledger.BalanceAt(s.peers[i].acct))
+	}
+	res.GiniWealth, err = stats.GiniInPlace(wealthBuf)
 	if err != nil {
 		return nil, err
 	}
 	return res, nil
-}
-
-func isNeighbor(sorted []int, id int) bool {
-	lo, hi := 0, len(sorted)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if sorted[mid] < id {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(sorted) && sorted[lo] == id
-}
-
-func wealthGini(l *credit.Ledger, ids []int) (float64, error) {
-	v, err := l.BalanceVector(ids)
-	if err != nil {
-		return 0, err
-	}
-	return stats.GiniInts(v)
 }

@@ -123,13 +123,20 @@ func (g *Graph) Degree(id int) int { return len(g.adj[id]) }
 
 // Neighbors returns the sorted neighbor ids of id. The slice is a copy.
 func (g *Graph) Neighbors(id int) []int {
+	return g.AppendNeighbors(nil, id)
+}
+
+// AppendNeighbors appends the sorted neighbor ids of id to dst and returns
+// the extended slice — the allocation-free variant of Neighbors for callers
+// that reuse a scratch buffer.
+func (g *Graph) AppendNeighbors(dst []int, id int) []int {
 	nbrs := g.adj[id]
-	out := make([]int, 0, len(nbrs))
+	start := len(dst)
 	for n := range nbrs {
-		out = append(out, n)
+		dst = append(dst, n)
 	}
-	sort.Ints(out)
-	return out
+	sort.Ints(dst[start:])
+	return dst
 }
 
 // Nodes returns all node ids in ascending order.
