@@ -196,3 +196,73 @@ func BenchmarkStreamingSim(b *testing.B) {
 		b.ReportMetric(float64(res.ChunksTraded), "chunks/run")
 	}
 }
+
+// The Large benchmarks run 100k-peer populations on the scale engine:
+// CSR scale-free overlay, calendar-queue scheduler, incremental Gini
+// sampling. Memory stays O(N+E) and the per-event / per-chunk cost must
+// stay within ~2x of the N=100 benchmarks above (BENCH_2.json records the
+// trajectory). The overlay is built once outside the timed loop, matching
+// the small benchmarks.
+
+func BenchmarkMarketSimLarge(b *testing.B) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 100_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunMarket(MarketConfig{
+			Graph:           g,
+			InitialWealth:   20,
+			DefaultMu:       1,
+			Horizon:         20,
+			Queue:           QueueCalendar,
+			IncrementalGini: true,
+			Seed:            8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.SpendEvents
+		b.ReportMetric(float64(res.SpendEvents), "events/run")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+	}
+}
+
+func BenchmarkStreamingSimLarge(b *testing.B) {
+	r := xrand.New(9)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 100_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var chunks uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunStreaming(StreamingConfig{
+			Graph:           g,
+			StreamRate:      1,
+			DelaySeconds:    10,
+			UploadCap:       1,
+			DownloadCap:     2,
+			SourceSeeds:     30,
+			InitialWealth:   12,
+			HorizonSeconds:  40,
+			IncrementalGini: true,
+			Seed:            10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunks = res.ChunksTraded
+		b.ReportMetric(float64(res.ChunksTraded), "chunks/run")
+	}
+	if chunks > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*chunks), "ns/chunk")
+	}
+}

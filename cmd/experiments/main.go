@@ -5,16 +5,24 @@
 //	experiments -list
 //	experiments -id fig7 [-preset full]
 //	experiments -all [-preset quick]
+//	experiments -id fig7 -preset large -cpuprofile cpu.pprof
 //
 // Quick (default) runs scaled-down configurations in seconds; full runs
 // paper-scale parameters (N up to 1000 peers, 40 000 simulated seconds) and
-// can take minutes per figure.
+// can take minutes per figure; large runs 100k-peer populations on the
+// scale engine (calendar-queue scheduler, incremental Gini sampling).
+//
+// -cpuprofile and -memprofile write pprof profiles covering the experiment
+// runs, so performance PRs can attach before/after evidence gathered
+// through the exact cmd path users run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"creditp2p"
 )
@@ -31,7 +39,9 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list available experiments")
 	id := fs.String("id", "", "experiment id to run (fig1..fig11, exact-vs-approx, threshold, pricing)")
 	all := fs.Bool("all", false, "run every experiment")
-	presetName := fs.String("preset", "quick", "quick or full")
+	presetName := fs.String("preset", "quick", "quick, full or large")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -40,8 +50,35 @@ func run(args []string) error {
 	case "quick":
 	case "full":
 		preset = creditp2p.Full
+	case "large":
+		preset = creditp2p.Large
 	default:
-		return fmt.Errorf("unknown preset %q (want quick or full)", *presetName)
+		return fmt.Errorf("unknown preset %q (want quick, full or large)", *presetName)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	switch {

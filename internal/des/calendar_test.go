@@ -1,0 +1,188 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+
+	"creditp2p/internal/xrand"
+)
+
+// runBoth drives a heap scheduler and a calendar scheduler through the same
+// scripted workload and asserts they deliver the byte-identical event
+// sequence. The script is driven by a shared seed so schedule times, cancel
+// choices and horizon advances coincide exactly.
+func runBoth(t *testing.T, seed int64, rounds, batch int, spread float64, cancelFrac float64) {
+	t.Helper()
+	type delivered struct {
+		time    float64
+		kind    uint16
+		actor   int32
+		payload int64
+	}
+	script := func(s *Scheduler, r *xrand.RNG) []delivered {
+		var out []delivered
+		var handles []Handle
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < batch; i++ {
+				h, err := s.Schedule(r.Float64()*spread, uint16(round%7), int32(i), int64(round*batch+i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+			}
+			nCancel := int(float64(len(handles)) * cancelFrac)
+			for i := 0; i < nCancel; i++ {
+				s.Cancel(handles[r.Intn(len(handles))])
+			}
+			s.RunUntil(s.Now()+spread/3, func(ev Event) {
+				out = append(out, delivered{ev.Time, ev.Kind, ev.Actor, ev.Payload})
+			})
+		}
+		s.Drain(func(ev Event) {
+			out = append(out, delivered{ev.Time, ev.Kind, ev.Actor, ev.Payload})
+		})
+		return out
+	}
+	a := script(NewSchedulerKind(Heap), xrand.New(seed))
+	b := script(NewSchedulerKind(Calendar), xrand.New(seed))
+	if len(a) != len(b) {
+		t.Fatalf("delivered %d events on heap vs %d on calendar", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: heap %+v vs calendar %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCalendarMatchesHeap(t *testing.T) {
+	// Dense queue with churn and cancellations across many resizes.
+	runBoth(t, 1, 60, 40, 10, 0.2)
+	// Sparse far-apart events: exercises the direct-scan fallback.
+	runBoth(t, 2, 20, 2, 1e6, 0.1)
+	// Heavy ties: coarse times force (time, seq) tie-breaking.
+	runBoth(t, 3, 30, 30, 4, 0)
+}
+
+func TestCalendarMatchesHeapProperty(t *testing.T) {
+	f := func(seed int64, batchSeed uint8) bool {
+		batch := int(batchSeed%30) + 1
+		ok := true
+		func() {
+			defer func() {
+				if recover() != nil {
+					ok = false
+				}
+			}()
+			runBoth(t, seed, 15, batch, 50, 0.15)
+		}()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalendarTiesFIFO(t *testing.T) {
+	s := NewSchedulerKind(Calendar)
+	for i := 0; i < 100; i++ {
+		if _, err := s.ScheduleAt(5, 0, int32(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := int32(0)
+	s.RunUntil(10, func(ev Event) {
+		if ev.Actor != i {
+			t.Fatalf("tie-break not FIFO at %d: actor %d", i, ev.Actor)
+		}
+		i++
+	})
+	if i != 100 {
+		t.Fatalf("delivered %d of 100 simultaneous events", i)
+	}
+}
+
+func TestCalendarScheduleBehindScanPosition(t *testing.T) {
+	// A far-future event advances the calendar's scan day; an event then
+	// scheduled much earlier (but after now) must still fire first.
+	s := NewSchedulerKind(Calendar)
+	if _, err := s.ScheduleAt(1e6, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.RunUntil(10, func(Event) {}); n != 0 {
+		t.Fatalf("far-future event fired early (%d)", n)
+	}
+	if _, err := s.ScheduleAt(20, 2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []uint16
+	s.Drain(func(ev Event) { kinds = append(kinds, ev.Kind) })
+	if len(kinds) != 2 || kinds[0] != 2 || kinds[1] != 1 {
+		t.Fatalf("delivery order = %v, want [2 1]", kinds)
+	}
+}
+
+func TestCalendarShrinksAfterDrain(t *testing.T) {
+	s := NewSchedulerKind(Calendar)
+	r := xrand.New(4)
+	for i := 0; i < 4096; i++ {
+		if _, err := s.Schedule(r.Float64()*100, 0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := len(s.cal.buckets)
+	if grown <= calMinBuckets {
+		t.Fatalf("wheel did not grow: %d buckets for 4096 events", grown)
+	}
+	s.Drain(func(Event) {})
+	if got := len(s.cal.buckets); got != calMinBuckets {
+		t.Errorf("wheel kept %d buckets after drain, want %d", got, calMinBuckets)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain", s.Pending())
+	}
+}
+
+func BenchmarkCalendarScheduleAndFire(b *testing.B) {
+	s := NewSchedulerKind(Calendar)
+	r := xrand.New(1)
+	nop := func(Event) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(r.Float64(), 0, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			s.Drain(nop)
+		}
+	}
+	s.Drain(nop)
+}
+
+// BenchmarkQueueLargePending compares the two queue kinds at a large
+// steady pending set (the million-peer regime: one armed spend per peer).
+func benchLargePending(b *testing.B, kind QueueKind, pending int) {
+	s := NewSchedulerKind(kind)
+	r := xrand.New(2)
+	for i := 0; i < pending; i++ {
+		if _, err := s.Schedule(1+r.Float64(), 0, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Fire one, schedule one: the hold model of a running simulation.
+		s.Step(func(ev Event) {
+			if _, err := s.Schedule(1+r.Float64(), 0, 0, 0); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+func BenchmarkHeapPending100k(b *testing.B)     { benchLargePending(b, Heap, 100_000) }
+func BenchmarkCalendarPending100k(b *testing.B) { benchLargePending(b, Calendar, 100_000) }
+func BenchmarkHeapPending1M(b *testing.B)       { benchLargePending(b, Heap, 1_000_000) }
+func BenchmarkCalendarPending1M(b *testing.B)   { benchLargePending(b, Calendar, 1_000_000) }

@@ -5,11 +5,14 @@
 //
 // The kernel is built for throughput: events are plain values (a kind tag,
 // an actor index, and one payload word) held in a slab that is recycled
-// through a free list, and ordered by a 4-ary heap of slab slots. In steady
-// state — events scheduled and fired at a matched rate — the scheduler
-// performs zero heap allocations per event. Cancellation is O(1) through
-// generation-counted handles; cancelled events are discarded lazily when
-// they surface at the head of the queue.
+// through a free list, and ordered by one of two interchangeable queues —
+// a 4-ary heap of slab slots (O(log n), the default) or a bucketed
+// calendar queue (O(1) amortized, for million-peer pending sets); both
+// deliver the exact same (time, seq) order, so outputs are bit-identical
+// across them. In steady state — events scheduled and fired at a matched
+// rate — the scheduler performs zero heap allocations per event.
+// Cancellation is O(1) through generation-counted handles; cancelled
+// events are discarded lazily when they surface at the head of the queue.
 package des
 
 import (
@@ -86,22 +89,49 @@ func (a heapEntry) before(b heapEntry) bool {
 	return a.seq < b.seq
 }
 
+// QueueKind selects the pending-event ordering structure of a Scheduler.
+// Both kinds deliver the exact same (time, seq) order, so a simulation's
+// outputs are bit-identical across them; they differ only in cost model.
+type QueueKind int
+
+const (
+	// Heap is the 4-ary min-heap: O(log n) per operation, lowest constant
+	// factors at small pending-set sizes. The default.
+	Heap QueueKind = iota
+	// Calendar is the bucketed calendar queue: O(1) amortized per
+	// operation for the roughly stationary event-time distributions the
+	// simulators produce. Prefer it when the pending set is large
+	// (hundreds of thousands of armed events).
+	Calendar
+)
+
 // Scheduler owns virtual time and the pending event set. It is not safe for
 // concurrent use; a simulation is a single-goroutine loop.
 type Scheduler struct {
 	now     float64
 	seq     uint64
 	slab    []node
-	free    []int32     // recycled slab slots
-	heap    []heapEntry // 4-ary min-heap keyed by (time, seq)
-	live    int         // scheduled and not cancelled
+	free    []int32        // recycled slab slots
+	heap    []heapEntry    // 4-ary min-heap keyed by (time, seq)
+	cal     *calendarQueue // calendar queue; nil means the heap is active
+	live    int            // scheduled and not cancelled
 	fired   uint64
 	dropped uint64
 }
 
-// NewScheduler returns a scheduler at time 0 with no pending events.
+// NewScheduler returns a heap-ordered scheduler at time 0 with no pending
+// events.
 func NewScheduler() *Scheduler {
 	return &Scheduler{}
+}
+
+// NewSchedulerKind returns a scheduler using the given event-queue kind.
+func NewSchedulerKind(k QueueKind) *Scheduler {
+	s := &Scheduler{}
+	if k == Calendar {
+		s.cal = newCalendarQueue()
+	}
+	return s
 }
 
 // Now returns the current virtual time.
@@ -135,9 +165,13 @@ func (s *Scheduler) ScheduleAt(t float64, kind uint16, actor int32, payload int6
 	nd.actor = actor
 	nd.kind = kind
 	nd.state = slotLive
-	s.heap = append(s.heap, heapEntry{time: t, seq: s.seq, slot: slot})
+	if s.cal != nil {
+		s.cal.push(t, s.seq, slot)
+	} else {
+		s.heap = append(s.heap, heapEntry{time: t, seq: s.seq, slot: slot})
+		s.up(len(s.heap) - 1)
+	}
 	s.seq++
-	s.up(len(s.heap) - 1)
 	s.live++
 	return Handle{slot: slot, gen: nd.gen}, nil
 }
@@ -223,13 +257,25 @@ func (s *Scheduler) Drain(deliver func(Event)) uint64 {
 
 // pop removes and returns the earliest live event with time <= horizon,
 // advancing virtual time to it. Dead (cancelled) slots encountered at the
-// head are freed and skipped.
+// head are freed and skipped. The delivery order — exact (time, seq) — is
+// identical for both queue kinds.
 func (s *Scheduler) pop(horizon float64) (Event, bool) {
-	for len(s.heap) > 0 {
-		head := s.heap[0]
+	for {
+		var head heapEntry
+		if s.cal != nil {
+			var ok bool
+			if head, ok = s.cal.peek(); !ok {
+				return Event{}, false
+			}
+		} else {
+			if len(s.heap) == 0 {
+				return Event{}, false
+			}
+			head = s.heap[0]
+		}
 		nd := &s.slab[head.slot-1]
 		if nd.state == slotDead {
-			s.removeHead()
+			s.qRemoveHead()
 			s.recycle(head.slot)
 			s.dropped++
 			continue
@@ -238,13 +284,21 @@ func (s *Scheduler) pop(horizon float64) (Event, bool) {
 			return Event{}, false
 		}
 		ev := Event{Time: head.time, Kind: nd.kind, Actor: nd.actor, Payload: nd.payload}
-		s.removeHead()
+		s.qRemoveHead()
 		s.recycle(head.slot)
 		s.live--
 		s.now = ev.Time
 		return ev, true
 	}
-	return Event{}, false
+}
+
+// qRemoveHead deletes the queue minimum from whichever backend is active.
+func (s *Scheduler) qRemoveHead() {
+	if s.cal != nil {
+		s.cal.removeHead()
+		return
+	}
+	s.removeHead()
 }
 
 // recycle returns a slot to the free list, invalidating outstanding handles.

@@ -27,6 +27,11 @@ const (
 	Quick Preset = iota + 1
 	// Full runs the paper-scale configuration.
 	Full
+	// Large runs a 100k-peer configuration on the scale engine: calendar-
+	// queue scheduling, incremental Gini sampling, and O(n) asymmetric-mu
+	// construction. It exists to exercise production-scale populations;
+	// expect tens of seconds per figure point.
+	Large
 )
 
 // String implements fmt.Stringer.
@@ -36,6 +41,8 @@ func (p Preset) String() string {
 		return "quick"
 	case Full:
 		return "full"
+	case Large:
+		return "large"
 	default:
 		return fmt.Sprintf("preset(%d)", int(p))
 	}

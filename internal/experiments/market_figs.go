@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"creditp2p/internal/credit"
+	"creditp2p/internal/des"
 	"creditp2p/internal/market"
 	"creditp2p/internal/topology"
 	"creditp2p/internal/trace"
@@ -120,13 +121,29 @@ type marketScale struct {
 	horizon float64
 	sample  float64
 	tailK   int
+	// queue and incGini select the scale engine (calendar-queue scheduler,
+	// incremental Gini sampler); outputs are byte-identical either way.
+	queue   des.QueueKind
+	incGini bool
+	// uniformIncomeMu builds asymmetric mu maps through the O(n)
+	// uniform-income shortcut instead of the dense Lemma 1 solve; valid on
+	// the regular overlays these experiments use and required above ~10k
+	// peers.
+	uniformIncomeMu bool
 }
 
 func scaleOf(p Preset) marketScale {
-	if p == Full {
+	switch p {
+	case Full:
 		return marketScale{n: 1000, degree: 20, horizon: 40000, sample: 500, tailK: 16}
+	case Large:
+		return marketScale{
+			n: 100_000, degree: 20, horizon: 400, sample: 10, tailK: 10,
+			queue: des.Calendar, incGini: true, uniformIncomeMu: true,
+		}
+	default:
+		return marketScale{n: 120, degree: 12, horizon: 4000, sample: 100, tailK: 10}
 	}
-	return marketScale{n: 120, degree: 12, horizon: 4000, sample: 100, tailK: 10}
 }
 
 func regularOverlay(n, d int, seed int64) (*topology.Graph, error) {
@@ -151,18 +168,25 @@ func asymmetricConfigLo(s marketScale, wealth int64, seed int64, lo float64) (ma
 	if err != nil {
 		return market.Config{}, err
 	}
-	mu, err := market.MuForUtilization(g, market.RouteUniform, targetU, 1)
+	var mu map[int]float64
+	if s.uniformIncomeMu {
+		mu, err = market.MuForUtilizationUniformIncome(g, targetU, 1)
+	} else {
+		mu, err = market.MuForUtilization(g, market.RouteUniform, targetU, 1)
+	}
 	if err != nil {
 		return market.Config{}, err
 	}
 	return market.Config{
-		Graph:         g,
-		InitialWealth: wealth,
-		DefaultMu:     1,
-		BaseMu:        mu,
-		Horizon:       s.horizon,
-		SampleEvery:   s.sample,
-		Seed:          seed + 2,
+		Graph:           g,
+		InitialWealth:   wealth,
+		DefaultMu:       1,
+		BaseMu:          mu,
+		Horizon:         s.horizon,
+		SampleEvery:     s.sample,
+		Seed:            seed + 2,
+		Queue:           s.queue,
+		IncrementalGini: s.incGini,
 	}, nil
 }
 
@@ -172,12 +196,14 @@ func symmetricConfig(s marketScale, wealth int64, seed int64) (market.Config, er
 		return market.Config{}, err
 	}
 	return market.Config{
-		Graph:         g,
-		InitialWealth: wealth,
-		DefaultMu:     1,
-		Horizon:       s.horizon,
-		SampleEvery:   s.sample,
-		Seed:          seed + 2,
+		Graph:           g,
+		InitialWealth:   wealth,
+		DefaultMu:       1,
+		Horizon:         s.horizon,
+		SampleEvery:     s.sample,
+		Seed:            seed + 2,
+		Queue:           s.queue,
+		IncrementalGini: s.incGini,
 	}, nil
 }
 
@@ -211,9 +237,9 @@ func runFig3(p Preset, w io.Writer) error {
 		if h := float64(c) * s.horizon / 40; h > horizon {
 			horizon = h
 		}
-		cfg, err := asymmetricConfig(marketScale{
-			n: n, degree: s.degree, horizon: horizon, sample: horizon / 40,
-		}, c, int64(n)*7)
+		sc := s
+		sc.n, sc.horizon, sc.sample = n, horizon, horizon/40
+		cfg, err := asymmetricConfig(sc, c, int64(n)*7)
 		if err != nil {
 			return 0, err
 		}
@@ -446,9 +472,9 @@ func runFig11(p Preset, w io.Writer) error {
 	}
 	results, err := parMap(len(items), func(k int) (*market.Result, error) {
 		r := panels[items[k].panel].runs[items[k].run]
-		mcfg, err := asymmetricConfig(marketScale{
-			n: s.n, degree: s.degree, horizon: horizon, sample: horizon / 40,
-		}, c, 600+int64(items[k].run))
+		sc := s
+		sc.horizon, sc.sample = horizon, horizon/40
+		mcfg, err := asymmetricConfig(sc, c, 600+int64(items[k].run))
 		if err != nil {
 			return nil, err
 		}

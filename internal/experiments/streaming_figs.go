@@ -30,13 +30,20 @@ func init() {
 
 type fig1Scale struct {
 	n, horizon int
+	// incGini selects the incremental wealth-Gini sampler (the Large
+	// preset's scale engine); outputs are byte-identical either way.
+	incGini bool
 }
 
 func fig1ScaleOf(p Preset) fig1Scale {
-	if p == Full {
+	switch p {
+	case Full:
 		return fig1Scale{n: 500, horizon: 20000}
+	case Large:
+		return fig1Scale{n: 100_000, horizon: 400, incGini: true}
+	default:
+		return fig1Scale{n: 200, horizon: 1500}
 	}
-	return fig1Scale{n: 200, horizon: 1500}
 }
 
 func fig1Overlay(n int, seed int64) (*topology.Graph, error) {
@@ -46,18 +53,19 @@ func fig1Overlay(n int, seed int64) (*topology.Graph, error) {
 	return topology.RandomRegular(n, 16, xrand.New(seed))
 }
 
-func fig1Config(g *topology.Graph, wealth int64, pricing credit.Pricing, horizon int) streaming.Config {
+func fig1Config(g *topology.Graph, wealth int64, pricing credit.Pricing, s fig1Scale) streaming.Config {
 	return streaming.Config{
-		Graph:          g,
-		StreamRate:     1,
-		DelaySeconds:   15,
-		UploadCap:      1,
-		DownloadCap:    2,
-		SourceSeeds:    3,
-		InitialWealth:  wealth,
-		Pricing:        pricing,
-		HorizonSeconds: horizon,
-		Seed:           9,
+		Graph:           g,
+		StreamRate:      1,
+		DelaySeconds:    15,
+		UploadCap:       1,
+		DownloadCap:     2,
+		SourceSeeds:     3,
+		InitialWealth:   wealth,
+		Pricing:         pricing,
+		HorizonSeconds:  s.horizon,
+		Seed:            9,
+		IncrementalGini: s.incGini,
 	}
 }
 
@@ -91,9 +99,9 @@ func runFig1(p Preset, w io.Writer) error {
 			return nil, err
 		}
 		if i == 0 {
-			return streaming.Run(fig1Config(g, 12, nil, s.horizon))
+			return streaming.Run(fig1Config(g, 12, nil, s))
 		}
-		return streaming.Run(fig1Config(g, 200, sellerPoissonPricing(g, 11), s.horizon))
+		return streaming.Run(fig1Config(g, 200, sellerPoissonPricing(g, 11), s))
 	})
 	if err != nil {
 		return err
@@ -169,7 +177,7 @@ func runPricing(p Preset, w io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
-		return streaming.Run(fig1Config(g, wealth, pricing, s.horizon))
+		return streaming.Run(fig1Config(g, wealth, pricing, s))
 	})
 	if err != nil {
 		return err

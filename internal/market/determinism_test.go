@@ -154,6 +154,85 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 }
 
+// TestEngineVariantsGoldenPaperScale pins the scale tentpole's guarantee:
+// at paper scale (N=500 scale-free overlay, mean degree 20) the calendar-
+// queue scheduler and the incremental Gini sampler each produce Results
+// byte-identical to the heap/sorting engine, with taxation, injection and
+// churn all active (and one all-mechanisms run for their interaction).
+func TestEngineVariantsGoldenPaperScale(t *testing.T) {
+	build := func(mechanism string, queue des.QueueKind, incremental bool) Config {
+		g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 500, Alpha: 2.5, MeanDegree: 20}, xrand.New(2024))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Graph:           g,
+			InitialWealth:   30,
+			DefaultMu:       1,
+			Horizon:         300,
+			SampleEvery:     10,
+			SnapshotTimes:   []float64{100, 250},
+			Seed:            2025,
+			Queue:           queue,
+			IncrementalGini: incremental,
+		}
+		switch mechanism {
+		case "taxation":
+			tax, err := credit.NewTaxPolicy(0.25, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Tax = tax
+		case "injection":
+			cfg.Inject = &InjectConfig{Amount: 2, Period: 40}
+		case "churn":
+			cfg.Churn = &ChurnConfig{
+				ArrivalRate:  1,
+				MeanLifespan: 150,
+				AttachDegree: 6,
+				Preferential: true,
+			}
+		case "all":
+			tax, err := credit.NewTaxPolicy(0.2, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Tax = tax
+			cfg.Inject = &InjectConfig{Amount: 1, Period: 60}
+			cfg.Churn = &ChurnConfig{
+				ArrivalRate:  0.5,
+				MeanLifespan: 200,
+				AttachDegree: 6,
+				Preferential: false,
+			}
+		}
+		return cfg
+	}
+	for _, mechanism := range []string{"taxation", "injection", "churn", "all"} {
+		t.Run(mechanism, func(t *testing.T) {
+			base, err := Run(build(mechanism, des.Heap, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range []struct {
+				name        string
+				queue       des.QueueKind
+				incremental bool
+			}{
+				{"calendar-queue", des.Calendar, false},
+				{"incremental-gini", des.Heap, true},
+				{"calendar+incremental", des.Calendar, true},
+			} {
+				res, err := Run(build(mechanism, v.queue, v.incremental))
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				t.Run(v.name, func(t *testing.T) { identicalResults(t, base, res) })
+			}
+		})
+	}
+}
+
 // TestSpendRereadsBalanceAfterRedistribution is the regression test for the
 // stale-balance bug: a spender whose payment triggers taxation and a
 // redistribution round that credits the spender itself must re-read the
@@ -191,7 +270,6 @@ func TestSpendRereadsBalanceAfterRedistribution(t *testing.T) {
 		sched:  des.NewScheduler(),
 		rng:    xrand.New(cfg.Seed),
 		ledger: credit.NewLedger(),
-		idx:    make(map[int]int32),
 		res: &Result{
 			Gini:         trace.NewSeries("gini"),
 			Population:   trace.NewSeries("population"),

@@ -122,6 +122,38 @@ func MuForUtilization(g *topology.Graph, routing Routing, targetU map[int]float6
 	return out, nil
 }
 
+// MuForUtilizationUniformIncome is MuForUtilization specialized to
+// overlays whose equilibrium income vector is uniform — regular overlays
+// under uniform routing, where the transfer matrix is doubly stochastic
+// (Sec. V-C1). The Lemma 1 solve degenerates to lambda_i = 1/n, so
+// mu_i = richMu * u_max / u_i directly: O(n) with no dense matrix, which
+// is what makes 100k+-peer asymmetric configurations buildable. Like the
+// general solve, it demands a valid utilization for every node of g.
+func MuForUtilizationUniformIncome(g *topology.Graph, targetU map[int]float64, richMu float64) (map[int]float64, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("%w: empty topology", ErrBadConfig)
+	}
+	if richMu <= 0 {
+		return nil, fmt.Errorf("%w: rich mu %v", ErrBadConfig, richMu)
+	}
+	ids := g.Nodes()
+	maxU := 0.0
+	for _, id := range ids {
+		u, ok := targetU[id]
+		if !ok || u <= 0 || u > 1 || math.IsNaN(u) {
+			return nil, fmt.Errorf("%w: target utilization for peer %d: %v", ErrBadConfig, id, u)
+		}
+		if u > maxU {
+			maxU = u
+		}
+	}
+	out := make(map[int]float64, len(ids))
+	for _, id := range ids {
+		out[id] = richMu * maxU / targetU[id]
+	}
+	return out, nil
+}
+
 // BetaLikeUtilizations samples target utilizations from the paper's
 // canonical condensation-prone family f(w) = (alpha+1)(1-w)^alpha via
 // inverse CDF, and pins the maximum to exactly 1 (the normalization of

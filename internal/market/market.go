@@ -120,6 +120,17 @@ type Config struct {
 	Inject *InjectConfig
 	// Horizon is the simulated duration in seconds.
 	Horizon float64
+	// Queue selects the DES event-queue backend; the zero value is the
+	// 4-ary heap. des.Calendar is O(1) amortized per event and pays off
+	// once the pending set is large (N ≳ 100k armed spends); both kinds
+	// deliver the identical event order, so Results are byte-identical.
+	Queue des.QueueKind
+	// IncrementalGini switches periodic wealth-Gini sampling to the
+	// Fenwick-backed incremental sampler: O(log maxBalance) bookkeeping
+	// per credit movement and O(1) per sample, instead of re-sorting all N
+	// balances every sample. Results are byte-identical to the sorting
+	// sampler.
+	IncrementalGini bool
 	// SampleEvery is the Gini sampling interval; zero means Horizon/100.
 	SampleEvery float64
 	// SnapshotTimes lists times at which full sorted wealth snapshots are
@@ -227,7 +238,9 @@ const (
 
 // peerState is the dense per-peer record, indexed by peer index (px).
 // Slots of departed peers are recycled through a free list; the generation
-// counter distinguishes incarnations.
+// counter distinguishes incarnations. Field order packs everything a spend
+// event touches (id through the nbrs pointer) into the record's first
+// cache line; the availability-routing extras and weights trail behind.
 type peerState struct {
 	// id is the external overlay id the index was interned from.
 	id int
@@ -235,18 +248,18 @@ type peerState struct {
 	acct int32
 	// gen is bumped when the peer departs; in-flight events carrying the
 	// old generation are discarded on delivery.
-	gen     uint32
-	alive   bool
-	idle    bool
+	gen   uint32
+	alive bool
+	idle  bool
+	// dirty marks the cached neighborhood stale (churn touched it).
+	dirty   bool
 	baseMu  float64
 	pending des.Handle
-	// Cached routing neighborhood as peer indices; rebuilt when dirty
-	// (churn touched the neighborhood).
-	nbrs    []int32
-	weights []float64
-	dirty   bool
 	// spends counts transfers initiated inside the measurement window.
 	spends uint64
+	// Cached routing neighborhood as peer indices; rebuilt when dirty.
+	nbrs    []int32
+	weights []float64
 	// inv is the decaying chunk inventory for RouteAvailability, valid at
 	// time invAt (lazy exponential decay).
 	inv   float64
@@ -273,16 +286,23 @@ type simulation struct {
 	sched  *des.Scheduler
 	rng    *xrand.RNG
 	ledger *credit.Ledger
-	// peers is the dense peer slab; idx interns overlay ids to indices.
+	// peers is the dense peer slab; idx interns overlay ids to indices
+	// through a dense id-indexed table (idx[id] is px+1, 0 marks absent —
+	// overlay ids are non-negative), so the hot paths never hash.
 	peers  []peerState
-	idx    map[int]int32
+	idx    []int32
 	freePx []int32
 	nLive  int
 	// collector is the ledger slot of the taxation pot.
 	collector int32
-	// wealthBuf is the reused scratch vector for Gini sampling; nbrScratch
-	// is the reused buffer for neighbor queries.
+	// inc is the incremental Gini sampler; nil means the sorting sampler.
+	// When active it mirrors every live-peer balance change (the collector
+	// pot is not part of the wealth distribution).
+	inc *stats.IncGini
+	// wealthBuf and balBuf are the reused scratch vectors for sampling and
+	// snapshots; nbrScratch is the reused buffer for neighbor queries.
 	wealthBuf  []float64
+	balBuf     []int64
 	nbrScratch []int
 	res        *Result
 }
@@ -295,16 +315,15 @@ func Run(cfg Config) (*Result, error) {
 	s := &simulation{
 		cfg:    cfg,
 		g:      cfg.Graph,
-		sched:  des.NewScheduler(),
+		sched:  des.NewSchedulerKind(cfg.Queue),
 		rng:    xrand.New(cfg.Seed),
 		ledger: credit.NewLedger(),
-		idx:    make(map[int]int32, cfg.Graph.NumNodes()),
 		res: &Result{
 			Gini:         trace.NewSeries("gini"),
 			Population:   trace.NewSeries("population"),
 			Supply:       trace.NewSeries("supply"),
-			FinalWealth:  make(map[int]int64),
-			SpendingRate: make(map[int]float64),
+			FinalWealth:  make(map[int]int64, cfg.Graph.NumNodes()),
+			SpendingRate: make(map[int]float64, cfg.Graph.NumNodes()),
 		},
 	}
 	collector, err := s.ledger.OpenSlot(collectorID, 0)
@@ -312,12 +331,24 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	s.collector = collector
+	if cfg.IncrementalGini {
+		s.inc = stats.NewIncGini(4 * cfg.InitialWealth)
+	}
 	ids := s.g.Nodes()
 	s.peers = make([]peerState, 0, len(ids))
 	for _, id := range ids {
 		if _, err := s.addPeer(id, s.muOf(id)); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Churn == nil {
+		// A closed overlay never dirties a neighborhood, so build every
+		// routing neighborhood once, carved from one shared slab, instead
+		// of lazily allocating per peer on its first spend. Contents match
+		// the lazy path exactly; at 100k+ peers this removes hundreds of
+		// thousands of small allocations and keeps neighbor reads
+		// contiguous.
+		s.prebuildNeighborhoods()
 	}
 	if err := s.scheduleMetrics(); err != nil {
 		return nil, err
@@ -365,6 +396,29 @@ func (s *simulation) dispatch(ev des.Event) {
 	}
 }
 
+// pxOf resolves an overlay id to its dense peer index, or -1 when the id is
+// not interned. Plain array indexing: overlay ids are non-negative and
+// compact (the graph enforces both).
+func (s *simulation) pxOf(id int) int32 {
+	if id < 0 || id >= len(s.idx) {
+		return -1
+	}
+	return s.idx[id] - 1
+}
+
+func (s *simulation) setPx(id int, px int32) {
+	if id >= len(s.idx) {
+		grown := 2 * len(s.idx)
+		if grown <= id {
+			grown = id + 1
+		}
+		t := make([]int32, grown)
+		copy(t, s.idx)
+		s.idx = t
+	}
+	s.idx[id] = px + 1
+}
+
 func (s *simulation) muOf(id int) float64 {
 	if mu, ok := s.cfg.BaseMu[id]; ok {
 		return mu
@@ -381,6 +435,9 @@ func (s *simulation) addPeer(id int, mu float64) (int32, error) {
 	acct, err := s.ledger.OpenSlot(id, s.cfg.InitialWealth)
 	if err != nil {
 		return 0, err
+	}
+	if s.inc != nil {
+		s.inc.Insert(s.cfg.InitialWealth)
 	}
 	var px int32
 	if n := len(s.freePx); n > 0 {
@@ -402,7 +459,7 @@ func (s *simulation) addPeer(id int, mu float64) (int32, error) {
 		nbrs:    p.nbrs[:0],
 		weights: p.weights[:0],
 	}
-	s.idx[id] = px
+	s.setPx(id, px)
 	s.nLive++
 	if s.cfg.InitialWealth > 0 {
 		s.scheduleSpend(px, p, s.cfg.InitialWealth)
@@ -447,6 +504,11 @@ func (s *simulation) spend(px int32, gen uint32) {
 	if ok {
 		q := &s.peers[target]
 		if s.ledger.TryTransferAt(p.acct, q.acct, 1) {
+			if s.inc != nil {
+				s.inc.Update(balance, balance-1)
+				qb := s.ledger.BalanceAt(q.acct)
+				s.inc.Update(qb-1, qb)
+			}
 			s.res.SpendEvents++
 			if s.sched.Now() >= s.cfg.MeasureStart {
 				p.spends++
@@ -482,6 +544,9 @@ func (s *simulation) receiveIncome(px int32, amount int64) {
 		preIncome := balance - amount
 		if taxed := s.cfg.Tax.TaxIncome(preIncome, amount, s.rng); taxed > 0 {
 			if s.ledger.TryTransferAt(p.acct, s.collector, taxed) {
+				if s.inc != nil {
+					s.inc.Update(balance, balance-taxed)
+				}
 				balance -= taxed
 				s.redistribute()
 			}
@@ -508,6 +573,10 @@ func (s *simulation) redistribute() {
 		}
 		if !s.ledger.TryTransferAt(s.collector, p.acct, rounds) {
 			continue
+		}
+		if s.inc != nil {
+			b := s.ledger.BalanceAt(p.acct)
+			s.inc.Update(b-rounds, b)
 		}
 		if p.idle {
 			if b := s.ledger.BalanceAt(p.acct); b > 0 {
@@ -549,10 +618,14 @@ func (s *simulation) pickNeighbor(p *peerState) (int32, bool) {
 // rebuildWeights refreshes the cached neighbor indices (and degree weights)
 // of a peer whose neighborhood changed.
 func (s *simulation) rebuildWeights(p *peerState) {
-	p.nbrs = p.nbrs[:0]
+	if deg := s.g.Degree(p.id); cap(p.nbrs) < deg {
+		p.nbrs = make([]int32, 0, deg)
+	} else {
+		p.nbrs = p.nbrs[:0]
+	}
 	s.nbrScratch = s.g.AppendNeighbors(s.nbrScratch[:0], p.id)
 	for _, nb := range s.nbrScratch {
-		if px, ok := s.idx[nb]; ok {
+		if px := s.pxOf(nb); px >= 0 {
 			p.nbrs = append(p.nbrs, px)
 		}
 	}
@@ -570,16 +643,46 @@ func (s *simulation) rebuildWeights(p *peerState) {
 	}
 }
 
+// prebuildNeighborhoods fills every peer's cached routing neighborhood from
+// one shared slab — the closed-overlay fast path (identical contents to the
+// lazy rebuildWeights).
+func (s *simulation) prebuildNeighborhoods() {
+	slab := make([]int32, 0, 2*s.g.NumEdges())
+	var wslab []float64
+	if s.cfg.Routing == RouteDegreeWeighted {
+		wslab = make([]float64, 0, 2*s.g.NumEdges())
+	}
+	for px := range s.peers {
+		p := &s.peers[px]
+		start := len(slab)
+		s.nbrScratch = s.g.AppendNeighbors(s.nbrScratch[:0], p.id)
+		for _, nb := range s.nbrScratch {
+			if q := s.pxOf(nb); q >= 0 {
+				slab = append(slab, q)
+			}
+		}
+		p.nbrs = slab[start:len(slab):len(slab)]
+		p.dirty = false
+		if s.cfg.Routing == RouteDegreeWeighted {
+			wstart := len(wslab)
+			for _, nb := range p.nbrs {
+				wslab = append(wslab, float64(s.g.Degree(s.peers[nb].id)))
+			}
+			p.weights = wslab[wstart:len(wslab):len(wslab)]
+		}
+	}
+}
+
 // markNeighborhoodDirty invalidates cached weights around a node whose
 // incident edges changed.
 func (s *simulation) markNeighborhoodDirty(id int) {
 	s.nbrScratch = s.g.AppendNeighbors(s.nbrScratch[:0], id)
 	for _, nb := range s.nbrScratch {
-		if px, ok := s.idx[nb]; ok {
+		if px := s.pxOf(nb); px >= 0 {
 			s.peers[px].dirty = true
 		}
 	}
-	if px, ok := s.idx[id]; ok {
+	if px := s.pxOf(id); px >= 0 {
 		s.peers[px].dirty = true
 	}
 }
@@ -627,6 +730,10 @@ func (s *simulation) inject() {
 		if err := s.ledger.DepositAt(p.acct, s.cfg.Inject.Amount); err != nil {
 			continue
 		}
+		if s.inc != nil {
+			b := s.ledger.BalanceAt(p.acct)
+			s.inc.Update(b-s.cfg.Inject.Amount, b)
+		}
 		s.res.Injected += s.cfg.Inject.Amount
 		if p.idle {
 			if b := s.ledger.BalanceAt(p.acct); b > 0 {
@@ -663,10 +770,14 @@ func (s *simulation) depart(px int32, gen uint32) {
 	p.alive = false
 	p.gen++
 	s.nLive--
-	delete(s.idx, p.id)
+	s.idx[p.id] = 0
 	s.freePx = append(s.freePx, px)
-	if _, err := s.ledger.Close(p.id); err != nil {
+	burned, err := s.ledger.Close(p.id)
+	if err != nil {
 		return
+	}
+	if s.inc != nil {
+		s.inc.Remove(burned)
 	}
 	if err := s.g.RemoveNode(p.id); err != nil {
 		return
@@ -714,16 +825,49 @@ func (s *simulation) wealthVector() []float64 {
 	return out
 }
 
+// balanceVector is wealthVector without the float widening, for the integer
+// Gini paths.
+func (s *simulation) balanceVector() []int64 {
+	out := s.balBuf[:0]
+	for px := range s.peers {
+		p := &s.peers[px]
+		if !p.alive {
+			continue
+		}
+		out = append(out, s.ledger.BalanceAt(p.acct))
+	}
+	s.balBuf = out
+	return out
+}
+
+// sampleGini returns the current wealth Gini: O(1) from the incremental
+// sampler when active, otherwise by sorting the balance vector. Both paths
+// produce the bit-identical value. The bool is false for an empty market.
+func (s *simulation) sampleGini() (float64, bool) {
+	if s.inc != nil {
+		if s.inc.Count() == 0 {
+			return 0, false
+		}
+		g, err := s.inc.Gini()
+		return g, err == nil
+	}
+	bals := s.balanceVector()
+	if len(bals) == 0 {
+		return 0, false
+	}
+	g, buf, err := stats.GiniIntsInPlace(bals, s.wealthBuf)
+	s.wealthBuf = buf
+	return g, err == nil
+}
+
 func (s *simulation) recordSample() {
-	wealth := s.wealthVector()
-	if len(wealth) == 0 {
+	if s.nLive == 0 {
 		return
 	}
-	n := len(wealth)
-	if g, err := stats.GiniInPlace(wealth); err == nil {
+	if g, ok := s.sampleGini(); ok {
 		s.res.Gini.Add(s.sched.Now(), g)
 	}
-	s.res.Population.Add(s.sched.Now(), float64(n))
+	s.res.Population.Add(s.sched.Now(), float64(s.nLive))
 	s.res.Supply.Add(s.sched.Now(), float64(s.ledger.Total()))
 }
 
@@ -749,9 +893,23 @@ func (s *simulation) finish() error {
 			s.res.SpendingRate[p.id] = float64(p.spends) / window
 		}
 	}
-	wealth := s.wealthVector()
-	if len(wealth) > 0 {
-		g, err := stats.GiniInPlace(wealth)
+	if s.inc != nil {
+		// The incremental sampler must have mirrored every balance change;
+		// drift here means a mutation hook is missing.
+		pot := s.ledger.BalanceAt(s.collector)
+		if s.inc.Count() != s.nLive || s.inc.Total() != s.ledger.Total()-pot {
+			return fmt.Errorf("market: incremental Gini sampler out of sync: %d peers/%d credits tracked, %d/%d live",
+				s.inc.Count(), s.inc.Total(), s.nLive, s.ledger.Total()-pot)
+		}
+	}
+	if s.nLive > 0 {
+		var g float64
+		var err error
+		if s.inc != nil {
+			g, err = s.inc.Gini()
+		} else {
+			g, s.wealthBuf, err = stats.GiniIntsInPlace(s.balanceVector(), s.wealthBuf)
+		}
 		if err != nil {
 			return err
 		}

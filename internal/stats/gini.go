@@ -56,11 +56,25 @@ func GiniInPlace(values []float64) (float64, error) {
 
 // GiniInts is Gini over integer credit balances.
 func GiniInts(values []int64) (float64, error) {
-	f := make([]float64, len(values))
-	for i, v := range values {
-		f[i] = float64(v)
+	g, _, err := GiniIntsInPlace(values, nil)
+	return g, err
+}
+
+// GiniIntsInPlace is GiniInts for hot loops: the integer balances are
+// widened into scratch (grown as needed) and sorted there, so repeated
+// sampling allocates nothing once the scratch has reached steady size. It
+// returns the possibly regrown scratch for the caller to keep. The input
+// slice is not modified.
+func GiniIntsInPlace(values []int64, scratch []float64) (float64, []float64, error) {
+	if cap(scratch) < len(values) {
+		scratch = make([]float64, len(values))
 	}
-	return Gini(f)
+	scratch = scratch[:len(values)]
+	for i, v := range values {
+		scratch[i] = float64(v)
+	}
+	g, err := GiniInPlace(scratch)
+	return g, scratch, err
 }
 
 // LorenzPoint is one point of a Lorenz curve: the bottom PopShare fraction

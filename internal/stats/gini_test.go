@@ -102,6 +102,35 @@ func TestGiniProperties(t *testing.T) {
 	}
 }
 
+func TestGiniIntsInPlaceReusesScratch(t *testing.T) {
+	values := []int64{5, 1, 9, 0, 3}
+	want, err := GiniInts(values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]float64, 0, 16)
+	got, scratch2, err := GiniIntsInPlace(values, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("GiniIntsInPlace = %v, GiniInts = %v", got, want)
+	}
+	if &scratch2[0] != &scratch[:1][0] {
+		t.Error("scratch with sufficient capacity was reallocated")
+	}
+	if values[0] != 5 || values[1] != 1 {
+		t.Error("input slice modified")
+	}
+	// Steady state allocates nothing.
+	avg := testing.AllocsPerRun(50, func() {
+		_, scratch2, _ = GiniIntsInPlace(values, scratch2)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state allocs = %v, want 0", avg)
+	}
+}
+
 func TestGiniIntsMatchesFloat(t *testing.T) {
 	ints := []int64{0, 5, 10, 85}
 	floats := []float64{0, 5, 10, 85}

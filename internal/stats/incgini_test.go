@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+
+	"creditp2p/internal/xrand"
+)
+
+// sortGini recomputes the Gini from scratch through the sorting path.
+func sortGini(t *testing.T, balances []int64) float64 {
+	t.Helper()
+	g, _, err := GiniIntsInPlace(balances, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestIncGiniEmptyAndZero(t *testing.T) {
+	g := NewIncGini(0)
+	if _, err := g.Gini(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Gini error = %v, want ErrEmpty", err)
+	}
+	for i := 0; i < 5; i++ {
+		g.Insert(0)
+	}
+	v, err := g.Gini()
+	if err != nil || v != 0 {
+		t.Errorf("all-zero Gini = %v, %v; want 0", v, err)
+	}
+	if g.Count() != 5 || g.Total() != 0 {
+		t.Errorf("Count/Total = %d/%d, want 5/0", g.Count(), g.Total())
+	}
+}
+
+// TestIncGiniMatchesSort is the bit-identity contract: after every mutation
+// of a randomized balance population — transfers, deposits, joins, departs,
+// domain growth past the initial capacity — the incremental Gini must equal
+// the sorted recomputation exactly (==, not within epsilon). The simulators
+// rely on this to keep Result series byte-identical across samplers.
+func TestIncGiniMatchesSort(t *testing.T) {
+	r := xrand.New(71)
+	g := NewIncGini(8) // tiny hint forces repeated growth
+	var balances []int64
+	for i := 0; i < 40; i++ {
+		v := int64(r.Intn(30))
+		balances = append(balances, v)
+		g.Insert(v)
+	}
+	check := func(step int) {
+		t.Helper()
+		want := sortGini(t, balances)
+		got, err := g.Gini()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if got != want {
+			t.Fatalf("step %d: incremental %v != sorted %v (not bit-identical)", step, got, want)
+		}
+	}
+	check(-1)
+	for step := 0; step < 2000; step++ {
+		switch r.Intn(10) {
+		case 0: // join
+			v := int64(r.Intn(50))
+			balances = append(balances, v)
+			g.Insert(v)
+		case 1: // depart, burning the balance
+			if len(balances) > 1 {
+				i := r.Intn(len(balances))
+				g.Remove(balances[i])
+				balances[i] = balances[len(balances)-1]
+				balances = balances[:len(balances)-1]
+			}
+		case 2: // windfall deposit far beyond the current domain
+			i := r.Intn(len(balances))
+			v := balances[i] + int64(r.Intn(5000))
+			g.Update(balances[i], v)
+			balances[i] = v
+		default: // transfer of one credit, the simulators' hot case
+			from, to := r.Intn(len(balances)), r.Intn(len(balances))
+			if from == to || balances[from] == 0 {
+				continue
+			}
+			g.Update(balances[from], balances[from]-1)
+			balances[from]--
+			g.Update(balances[to], balances[to]+1)
+			balances[to]++
+		}
+		if step%50 == 0 {
+			check(step)
+		}
+	}
+	check(2000)
+}
+
+func TestIncGiniLargeScaleExactness(t *testing.T) {
+	// Million-ish aggregates: D and n*S stay far below 2^53, so the float
+	// division must still match the sorting path exactly.
+	r := xrand.New(5)
+	g := NewIncGini(1 << 12)
+	balances := make([]int64, 20000)
+	for i := range balances {
+		balances[i] = int64(r.Intn(4000))
+		g.Insert(balances[i])
+	}
+	want := sortGini(t, balances)
+	got, err := g.Gini()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("incremental %v != sorted %v at 20k population", got, want)
+	}
+}
+
+func TestIncGiniNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(-1) did not panic")
+		}
+	}()
+	NewIncGini(0).Insert(-1)
+}
+
+func BenchmarkIncGiniTransfer(b *testing.B) {
+	r := xrand.New(9)
+	g := NewIncGini(1 << 10)
+	balances := make([]int64, 100_000)
+	for i := range balances {
+		balances[i] = int64(r.Intn(200))
+		g.Insert(balances[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from, to := r.Intn(len(balances)), r.Intn(len(balances))
+		if from == to || balances[from] == 0 {
+			continue
+		}
+		g.Update(balances[from], balances[from]-1)
+		balances[from]--
+		g.Update(balances[to], balances[to]+1)
+		balances[to]++
+	}
+}

@@ -8,6 +8,51 @@ import (
 	"creditp2p/internal/xrand"
 )
 
+// identicalResults asserts byte-identical Results: every per-peer rate,
+// continuity value, balance, counter and series sample.
+func identicalResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	if a.ChunksTraded != b.ChunksTraded || a.ChunksSeeded != b.ChunksSeeded || a.Stalls != b.Stalls {
+		t.Errorf("counters differ: traded %d/%d seeded %d/%d stalls %d/%d",
+			a.ChunksTraded, b.ChunksTraded, a.ChunksSeeded, b.ChunksSeeded, a.Stalls, b.Stalls)
+	}
+	if a.GiniSpending != b.GiniSpending || a.GiniWealth != b.GiniWealth {
+		t.Errorf("ginis differ: %v/%v vs %v/%v",
+			a.GiniSpending, a.GiniWealth, b.GiniSpending, b.GiniWealth)
+	}
+	if a.WealthGini.Len() != b.WealthGini.Len() {
+		t.Fatalf("series lengths differ: %d vs %d", a.WealthGini.Len(), b.WealthGini.Len())
+	}
+	for i := range a.WealthGini.Values {
+		if a.WealthGini.Times[i] != b.WealthGini.Times[i] || a.WealthGini.Values[i] != b.WealthGini.Values[i] {
+			t.Fatalf("wealth-gini sample %d differs: %v vs %v", i, a.WealthGini.Values[i], b.WealthGini.Values[i])
+		}
+	}
+	if len(a.FinalWealth) != len(b.FinalWealth) {
+		t.Fatalf("final wealth sizes differ")
+	}
+	for id, wa := range a.FinalWealth {
+		if b.FinalWealth[id] != wa {
+			t.Fatalf("wealth differs at peer %d: %d vs %d", id, wa, b.FinalWealth[id])
+		}
+	}
+	for id, ra := range a.SpendingRate {
+		if b.SpendingRate[id] != ra {
+			t.Fatalf("spending rate differs at peer %d", id)
+		}
+	}
+	for id, ca := range a.Continuity {
+		if b.Continuity[id] != ca {
+			t.Fatalf("continuity differs at peer %d", id)
+		}
+	}
+	for id, da := range a.DownloadRate {
+		if b.DownloadRate[id] != da {
+			t.Fatalf("download rate differs at peer %d", id)
+		}
+	}
+}
+
 // TestGoldenDeterminism runs the streaming market twice per configuration
 // with the same seed and demands identical Results: every per-peer rate,
 // continuity value, balance and series sample.
@@ -65,45 +110,37 @@ func TestGoldenDeterminism(t *testing.T) {
 				return res
 			}
 			a, b := run(), run()
-			if a.ChunksTraded != b.ChunksTraded || a.ChunksSeeded != b.ChunksSeeded || a.Stalls != b.Stalls {
-				t.Errorf("counters differ: traded %d/%d seeded %d/%d stalls %d/%d",
-					a.ChunksTraded, b.ChunksTraded, a.ChunksSeeded, b.ChunksSeeded, a.Stalls, b.Stalls)
-			}
-			if a.GiniSpending != b.GiniSpending || a.GiniWealth != b.GiniWealth {
-				t.Errorf("ginis differ: %v/%v vs %v/%v",
-					a.GiniSpending, a.GiniWealth, b.GiniSpending, b.GiniWealth)
-			}
-			if a.WealthGini.Len() != b.WealthGini.Len() {
-				t.Fatalf("series lengths differ: %d vs %d", a.WealthGini.Len(), b.WealthGini.Len())
-			}
-			for i := range a.WealthGini.Values {
-				if a.WealthGini.Values[i] != b.WealthGini.Values[i] {
-					t.Fatalf("wealth-gini sample %d differs", i)
-				}
-			}
-			if len(a.FinalWealth) != len(b.FinalWealth) {
-				t.Fatalf("final wealth sizes differ")
-			}
-			for id, wa := range a.FinalWealth {
-				if b.FinalWealth[id] != wa {
-					t.Fatalf("wealth differs at peer %d: %d vs %d", id, wa, b.FinalWealth[id])
-				}
-			}
-			for id, ra := range a.SpendingRate {
-				if b.SpendingRate[id] != ra {
-					t.Fatalf("spending rate differs at peer %d", id)
-				}
-			}
-			for id, ca := range a.Continuity {
-				if b.Continuity[id] != ca {
-					t.Fatalf("continuity differs at peer %d", id)
-				}
-			}
-			for id, da := range a.DownloadRate {
-				if b.DownloadRate[id] != da {
-					t.Fatalf("download rate differs at peer %d", id)
-				}
-			}
+			identicalResults(t, a, b)
 		})
 	}
+}
+
+// TestIncrementalGiniGoldenPaperScale pins the sampler swap at paper scale:
+// a same-seed run on the N=500 scale-free overlay must produce byte-
+// identical Results with the incremental Gini sampler on and off, including
+// every WealthGini series sample.
+func TestIncrementalGiniGoldenPaperScale(t *testing.T) {
+	run := func(incremental bool) *Result {
+		g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 500, Alpha: 2.5, MeanDegree: 20}, xrand.New(601))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(Config{
+			Graph:           g,
+			StreamRate:      2,
+			DelaySeconds:    8,
+			UploadCap:       1,
+			DownloadCap:     3,
+			SourceSeeds:     4,
+			InitialWealth:   15,
+			HorizonSeconds:  250,
+			Seed:            602,
+			IncrementalGini: incremental,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	identicalResults(t, run(false), run(true))
 }

@@ -65,6 +65,11 @@ type Config struct {
 	// ProbesPerNeighbor bounds how many buffer-map entries a buyer samples
 	// per neighbor each round (limited gossip knowledge); zero means 6.
 	ProbesPerNeighbor int
+	// IncrementalGini switches the periodic wealth-Gini sample to the
+	// Fenwick-backed incremental sampler (O(log maxBalance) per trade,
+	// O(1) per sample instead of re-sorting all N balances). Results are
+	// byte-identical to the sorting sampler.
+	IncrementalGini bool
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -158,9 +163,9 @@ type peer struct {
 
 // sim carries the flat state shared by the round phases.
 type sim struct {
-	cfg     Config
-	peers   []peer
-	ids     []int // dense index -> overlay id
+	cfg   Config
+	peers []peer
+	ids   []int // dense index -> overlay id
 	// ringLen is the window ring size: the smallest power of two covering
 	// the chunk lifetime (DelaySeconds+1)*StreamRate, so the slot of a
 	// chunk is a mask instead of a modulo.
@@ -170,6 +175,9 @@ type sim struct {
 	// price quotes, pre-resolved per seller when the scheme allows it.
 	sellerPrice []int64
 	pricing     credit.Pricing // nil when sellerPrice is active
+	// inc is the incremental wealth-Gini sampler; nil means the sorting
+	// sampler.
+	inc *stats.IncGini
 }
 
 // noChunk marks an empty ring slot; valid chunk ids (>= -DelaySeconds *
@@ -237,6 +245,12 @@ func Run(cfg Config) (*Result, error) {
 		ringLen:  ringLen,
 		ringMask: ringLen - 1,
 		ringOff:  cfg.DelaySeconds * cfg.StreamRate,
+	}
+	if cfg.IncrementalGini {
+		s.inc = stats.NewIncGini(4 * cfg.InitialWealth)
+		for i := 0; i < n; i++ {
+			s.inc.Insert(cfg.InitialWealth)
+		}
 	}
 	// Bulk-allocate the per-peer window rings, neighbor lists and buffer-map
 	// sample lists as slices of three shared slabs instead of 3n small
@@ -315,6 +329,21 @@ func Run(cfg Config) (*Result, error) {
 		order[i] = int32(i)
 	}
 	wealthBuf := make([]float64, n)
+	balBuf := make([]int64, n)
+	// wealthGini reads the current balance Gini: O(1) from the incremental
+	// sampler, otherwise by sorting. Both paths are bit-identical.
+	wealthGini := func() (float64, error) {
+		if s.inc != nil {
+			return s.inc.Gini()
+		}
+		for i := range s.peers {
+			balBuf[i] = ledger.BalanceAt(s.peers[i].acct)
+		}
+		var g float64
+		var err error
+		g, wealthBuf, err = stats.GiniIntsInPlace(balBuf, wealthBuf)
+		return g, err
+	}
 
 	for t := 0; t < cfg.HorizonSeconds; t++ {
 		inWindow := t >= cfg.MeasureStartSeconds
@@ -407,6 +436,11 @@ func Run(cfg Config) (*Result, error) {
 								continue
 							}
 							balance -= price
+							if s.inc != nil {
+								s.inc.Update(balance+price, balance)
+								qb := ledger.BalanceAt(q.acct)
+								s.inc.Update(qb-price, qb)
+							}
 							if inWindow {
 								p.spent += price
 							}
@@ -445,12 +479,9 @@ func Run(cfg Config) (*Result, error) {
 			s.compact(p)
 		}
 
-		// 5. Periodic wealth-Gini sample over the reused scratch buffer.
+		// 5. Periodic wealth-Gini sample.
 		if t%100 == 0 {
-			for i := range s.peers {
-				wealthBuf[i] = float64(ledger.BalanceAt(s.peers[i].acct))
-			}
-			if g, err := stats.GiniInPlace(wealthBuf); err == nil {
+			if g, err := wealthGini(); err == nil {
 				res.WealthGini.Add(float64(t), g)
 			}
 		}
@@ -478,10 +509,14 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i := range s.peers {
-		wealthBuf[i] = float64(ledger.BalanceAt(s.peers[i].acct))
+	if s.inc != nil {
+		// Every trade must have been mirrored into the sampler.
+		if s.inc.Count() != n || s.inc.Total() != ledger.Total() {
+			return nil, fmt.Errorf("streaming: incremental Gini sampler out of sync: %d peers/%d credits tracked, %d/%d actual",
+				s.inc.Count(), s.inc.Total(), n, ledger.Total())
+		}
 	}
-	res.GiniWealth, err = stats.GiniInPlace(wealthBuf)
+	res.GiniWealth, err = wealthGini()
 	if err != nil {
 		return nil, err
 	}

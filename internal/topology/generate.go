@@ -52,15 +52,22 @@ func ScaleFree(cfg ScaleFreeConfig, r *xrand.RNG) (*Graph, error) {
 	}
 
 	g := NewGraph()
+	g.grow(cfg.N)
 	degrees := make([]int, cfg.N)
+	total := 0
 	for i := 0; i < cfg.N; i++ {
 		if err := g.AddNode(i); err != nil {
 			return nil, err
 		}
 		degrees[i] = pl.Sample(r)
+		total += degrees[i]
 	}
+	// Carve every node's adjacency out of one slab sized by its drawn
+	// degree; stub losses only shrink realized degrees, so building an
+	// N-node overlay is O(edges) with O(1) slab allocations.
+	g.reserveAdjacency(degrees)
 	// Stub list: node i appears degrees[i] times.
-	var stubs []int
+	stubs := make([]int, 0, total+1)
 	for i, d := range degrees {
 		for k := 0; k < d; k++ {
 			stubs = append(stubs, i)
@@ -108,11 +115,15 @@ func RandomRegular(n, d int, r *xrand.RNG) (*Graph, error) {
 		return nil, fmt.Errorf("%w: n*d must be even", ErrBadParam)
 	}
 	g := NewGraph()
+	g.grow(n)
+	degrees := make([]int, n)
 	for i := 0; i < n; i++ {
 		if err := g.AddNode(i); err != nil {
 			return nil, err
 		}
+		degrees[i] = d
 	}
+	g.reserveAdjacency(degrees)
 	stubs := make([]int, 0, n*d)
 	for i := 0; i < n; i++ {
 		for k := 0; k < d; k++ {
@@ -191,28 +202,36 @@ func BarabasiAlbert(n, m int, r *xrand.RNG) (*Graph, error) {
 	}
 	// Repeated-endpoint list: picking a uniform element is degree-
 	// proportional sampling.
-	var endpoints []int
+	endpoints := make([]int, 0, m*(m+1)+2*m*(n-m-1))
 	for _, id := range g.Nodes() {
 		for k := 0; k < g.Degree(id); k++ {
 			endpoints = append(endpoints, id)
 		}
 	}
+	// Scratch for the m distinct targets of one attachment round: a slice
+	// preserving selection order plus a mark bitmap cleared between rounds.
+	// The former map forced one allocation per joining node and iterated in
+	// random order, so same-seed runs built different graphs.
+	chosen := make([]int, 0, m)
+	mark := make([]bool, n)
 	for v := m + 1; v < n; v++ {
 		if err := g.AddNode(v); err != nil {
 			return nil, err
 		}
-		chosen := make(map[int]bool, m)
+		chosen = chosen[:0]
 		for len(chosen) < m {
 			t := endpoints[r.Intn(len(endpoints))]
-			if t != v && !chosen[t] {
-				chosen[t] = true
+			if t != v && !mark[t] {
+				mark[t] = true
+				chosen = append(chosen, t)
 			}
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			if err := g.AddEdge(v, t); err != nil {
 				return nil, err
 			}
 			endpoints = append(endpoints, v, t)
+			mark[t] = false
 		}
 	}
 	return g, nil

@@ -264,6 +264,91 @@ func TestGeneratorsProperty(t *testing.T) {
 	}
 }
 
+// sameGraph reports whether two graphs have identical node and edge sets.
+func sameGraph(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for _, id := range a.Nodes() {
+		if !b.HasNode(id) {
+			return false
+		}
+		na, nb := a.Neighbors(id), b.Neighbors(id)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestGeneratorsDeterministic asserts same-seed generation yields identical
+// graphs. BarabasiAlbert used to iterate a Go map when wiring each joining
+// node, so equal seeds produced different overlays.
+func TestGeneratorsDeterministic(t *testing.T) {
+	gen := []struct {
+		name string
+		run  func(r *xrand.RNG) (*Graph, error)
+	}{
+		{"scale-free", func(r *xrand.RNG) (*Graph, error) {
+			return ScaleFree(ScaleFreeConfig{N: 200, Alpha: 2.5, MeanDegree: 10}, r)
+		}},
+		{"regular", func(r *xrand.RNG) (*Graph, error) { return RandomRegular(200, 8, r) }},
+		{"barabasi-albert", func(r *xrand.RNG) (*Graph, error) { return BarabasiAlbert(200, 4, r) }},
+	}
+	for _, tc := range gen {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := tc.run(xrand.New(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tc.run(xrand.New(99))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameGraph(a, b) {
+				t.Error("same-seed generation produced different graphs")
+			}
+		})
+	}
+}
+
+// TestScaleFreeLarge is the scale smoke test: a 100k-node overlay must
+// generate quickly and stay structurally sound.
+func TestScaleFreeLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large overlay generation")
+	}
+	r := xrand.New(3)
+	g, err := ScaleFree(ScaleFreeConfig{N: 100_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 100_000 {
+		t.Fatalf("NumNodes = %d", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Fatal("large overlay not connected")
+	}
+	if md := g.MeanDegree(); math.Abs(md-20) > 5 {
+		t.Errorf("mean degree = %v, want ~20", md)
+	}
+}
+
+func BenchmarkScaleFree100k(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := xrand.New(int64(i))
+		if _, err := ScaleFree(ScaleFreeConfig{N: 100_000, Alpha: 2.5, MeanDegree: 20}, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkScaleFree1000(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := xrand.New(int64(i))

@@ -2,6 +2,7 @@ package topology
 
 import (
 	"errors"
+	"sort"
 	"testing"
 
 	"creditp2p/internal/xrand"
@@ -169,6 +170,134 @@ func TestCloneIndependence(t *testing.T) {
 	}
 	if !g.HasNode(1) || g.NumEdges() != 2 {
 		t.Error("mutating clone affected original")
+	}
+}
+
+func TestBadIDRejected(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddNode(-1); !errors.Is(err, ErrBadID) {
+		t.Errorf("AddNode(-1) error = %v, want ErrBadID", err)
+	}
+	if err := g.AddNode(1 << 40); !errors.Is(err, ErrBadID) {
+		t.Errorf("AddNode(2^40) error = %v, want ErrBadID", err)
+	}
+	if g.HasNode(-1) || g.Degree(-1) != 0 || g.HasEdge(-1, 0) {
+		t.Error("negative id queries not inert")
+	}
+	if nbrs := g.Neighbors(-1); len(nbrs) != 0 {
+		t.Errorf("Neighbors(-1) = %v, want empty", nbrs)
+	}
+}
+
+func TestSlotReuseAfterChurn(t *testing.T) {
+	// Remove/re-add cycles must recycle slots: the node slab should not
+	// grow beyond the peak live population, and adjacency must stay exact.
+	g := newPath(t, 4)
+	for round := 0; round < 100; round++ {
+		id := round % 4
+		if err := g.RemoveNode(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+		for _, nb := range []int{(id + 1) % 4, (id + 3) % 4} {
+			if err := g.AddEdge(id, nb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(g.nodes) > 5 {
+		t.Errorf("node slab grew to %d slots for 4 live nodes", len(g.nodes))
+	}
+	if g.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	var degSum int
+	for _, id := range g.Nodes() {
+		degSum += g.Degree(id)
+	}
+	if degSum != 2*g.NumEdges() {
+		t.Errorf("degree sum %d != 2*edges %d after churn", degSum, 2*g.NumEdges())
+	}
+}
+
+func TestChurnWithFreshIDsKeepsIterationsLive(t *testing.T) {
+	// Open-network churn: every arrival takes a fresh monotone id, every
+	// departure frees a slot. Whole-graph iterations must reflect exactly
+	// the live population (and run over the recycled slab, not the
+	// ever-growing id space).
+	g := newPath(t, 4)
+	r := xrand.New(9)
+	live := []int{0, 1, 2, 3}
+	for round := 0; round < 3000; round++ {
+		victim := r.Intn(len(live))
+		if err := g.RemoveNode(live[victim]); err != nil {
+			t.Fatal(err)
+		}
+		live[victim] = live[len(live)-1]
+		live = live[:len(live)-1]
+		id := g.NewNodeID()
+		if err := AttachRandom(g, id, 2, r); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	if len(g.nodes) > 6 {
+		t.Errorf("node slab grew to %d slots for 4 live nodes", len(g.nodes))
+	}
+	want := append([]int(nil), live...)
+	sort.Ints(want)
+	got := g.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+	if ds := g.DegreeSequence(); len(ds) != 4 {
+		t.Errorf("DegreeSequence has %d entries, want 4", len(ds))
+	}
+	var total int
+	for _, comp := range g.Components() {
+		total += len(comp)
+	}
+	if total != 4 {
+		t.Errorf("Components cover %d nodes, want 4", total)
+	}
+}
+
+func TestAppendNeighborsSortedNoAlloc(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 32; i++ {
+		if err := g.AddNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := xrand.New(5)
+	for e := 0; e < 120; e++ {
+		a, b := r.Intn(32), r.Intn(32)
+		if a != b && !g.HasEdge(a, b) {
+			if err := g.AddEdge(a, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	buf := make([]int, 0, 64)
+	avg := testing.AllocsPerRun(50, func() {
+		for id := 0; id < 32; id++ {
+			buf = g.AppendNeighbors(buf[:0], id)
+			for i := 1; i < len(buf); i++ {
+				if buf[i-1] >= buf[i] {
+					t.Fatalf("neighbors of %d not strictly ascending: %v", id, buf)
+				}
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("AppendNeighbors allocated %v times per sweep, want 0", avg)
 	}
 }
 
