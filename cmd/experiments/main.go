@@ -1,4 +1,5 @@
-// Command experiments regenerates the paper's tables and figures.
+// Command experiments regenerates the paper's tables and figures and runs
+// the declarative scenario presets.
 //
 // Usage:
 //
@@ -6,11 +7,16 @@
 //	experiments -id fig7 [-preset full]
 //	experiments -all [-preset quick]
 //	experiments -id fig7 -preset large -cpuprofile cpu.pprof
+//	experiments -scenarios
+//	experiments -scenario flash-crowd [-preset large]
 //
 // Quick (default) runs scaled-down configurations in seconds; full runs
 // paper-scale parameters (N up to 1000 peers, 40 000 simulated seconds) and
 // can take minutes per figure; large runs 100k-peer populations on the
 // scale engine (calendar-queue scheduler, incremental Gini sampling).
+// Scenarios (flash-crowd, free-rider-mix, diurnal-churn, seeder-drain, ...)
+// compile a declared regime into a simulator configuration at the chosen
+// preset scale and print a summary report.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the experiment
 // runs, so performance PRs can attach before/after evidence gathered
@@ -39,6 +45,8 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list available experiments")
 	id := fs.String("id", "", "experiment id to run (fig1..fig11, exact-vs-approx, threshold, pricing)")
 	all := fs.Bool("all", false, "run every experiment")
+	scenarios := fs.Bool("scenarios", false, "list available scenario presets")
+	scenarioName := fs.String("scenario", "", "scenario preset to run (see -scenarios)")
 	presetName := fs.String("preset", "quick", "quick, full or large")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file after the run")
@@ -87,12 +95,20 @@ func run(args []string) error {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
 		return nil
+	case *scenarios:
+		for _, sc := range creditp2p.Scenarios() {
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Summary)
+		}
+		return nil
+	case *scenarioName != "":
+		_, err := creditp2p.RunScenario(*scenarioName, preset, os.Stdout)
+		return err
 	case *all:
 		return creditp2p.RunAllExperiments(preset, os.Stdout)
 	case *id != "":
 		return creditp2p.RunExperiment(*id, preset, os.Stdout)
 	default:
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -id or -all")
+		return fmt.Errorf("nothing to do: pass -list, -id, -all, -scenarios or -scenario")
 	}
 }

@@ -19,6 +19,7 @@
 package creditp2p
 
 import (
+	"fmt"
 	"io"
 
 	"creditp2p/internal/core"
@@ -26,6 +27,7 @@ import (
 	"creditp2p/internal/des"
 	"creditp2p/internal/experiments"
 	"creditp2p/internal/market"
+	"creditp2p/internal/scenario"
 	"creditp2p/internal/stats"
 	"creditp2p/internal/streaming"
 	"creditp2p/internal/topology"
@@ -90,6 +92,12 @@ type (
 	Experiment = experiments.Experiment
 	// Preset selects experiment scale (Quick or Full).
 	Preset = experiments.Preset
+
+	// Scenario is one declarative simulation regime: topology generator +
+	// churn pattern + credit policy + workload + duration/seed.
+	Scenario = scenario.Scenario
+	// ScenarioOutcome is the result of running a scenario.
+	ScenarioOutcome = scenario.Outcome
 )
 
 // Routing policies for BuildModel.
@@ -199,4 +207,49 @@ func RunExperiment(id string, p Preset, w io.Writer) error {
 // RunAllExperiments regenerates every artifact under the preset.
 func RunAllExperiments(p Preset, w io.Writer) error {
 	return experiments.RunAll(p, w)
+}
+
+// Scenarios lists every registered scenario preset sorted by name.
+func Scenarios() []Scenario { return scenario.All() }
+
+// scenarioScale maps the experiment preset onto the scenario scale.
+func scenarioScale(p Preset) (scenario.Scale, error) {
+	switch p {
+	case Quick:
+		return scenario.ScaleQuick, nil
+	case Full:
+		return scenario.ScaleFull, nil
+	case Large:
+		return scenario.ScaleLarge, nil
+	default:
+		return 0, fmt.Errorf("creditp2p: unknown preset %v", p)
+	}
+}
+
+// RunScenario runs a registered scenario preset by name at the given
+// experiment preset scale, writing its report to w.
+func RunScenario(name string, p Preset, w io.Writer) (*ScenarioOutcome, error) {
+	scale, err := scenarioScale(p)
+	if err != nil {
+		return nil, err
+	}
+	out, err := scenario.RunNamed(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		if err := out.Report(w); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunScenarioConfig runs an ad-hoc (unregistered) scenario definition.
+func RunScenarioConfig(sc Scenario, p Preset) (*ScenarioOutcome, error) {
+	scale, err := scenarioScale(p)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.Run(sc, scale)
 }

@@ -1,0 +1,145 @@
+package credit
+
+import (
+	"errors"
+	"testing"
+
+	"creditp2p/internal/xrand"
+)
+
+// TestZeroBalanceTransfer pins the bankruptcy edge: a peer at exactly zero
+// can still send zero-amount payments (free chunks) through every API, but
+// any positive amount fails without touching state.
+func TestZeroBalanceTransfer(t *testing.T) {
+	l := NewLedger()
+	broke, err := l.OpenSlot(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich, err := l.OpenSlot(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Transfer(1, 2, 0); err != nil {
+		t.Fatalf("zero-amount transfer from zero balance: %v", err)
+	}
+	if err := l.TransferAt(broke, rich, 0); err != nil {
+		t.Fatalf("zero-amount TransferAt from zero balance: %v", err)
+	}
+	if !l.TryTransferAt(broke, rich, 0) {
+		t.Fatal("zero-amount TryTransferAt from zero balance refused")
+	}
+	if err := l.Transfer(1, 2, 1); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("transfer from zero balance = %v, want ErrInsufficient", err)
+	}
+	if err := l.TransferAt(broke, rich, 1); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("TransferAt from zero balance = %v, want ErrInsufficient", err)
+	}
+	if l.TryTransferAt(broke, rich, 1) {
+		t.Fatal("TryTransferAt moved credits out of a zero balance")
+	}
+	if b, _ := l.Balance(1); b != 0 {
+		t.Fatalf("zero balance drifted to %d", b)
+	}
+	if b, _ := l.Balance(2); b != 10 {
+		t.Fatalf("payee balance drifted to %d", b)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSelfTransfer pins the self-payment edge: paying yourself is a legal
+// conserving no-op when covered, and fails with ErrInsufficient when not —
+// with the balance unchanged either way on all three APIs.
+func TestSelfTransfer(t *testing.T) {
+	l := NewLedger()
+	slot, err := l.OpenSlot(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Transfer(1, 1, 5); err != nil {
+		t.Fatalf("covered self-transfer: %v", err)
+	}
+	if err := l.TransferAt(slot, slot, 7); err != nil {
+		t.Fatalf("covered self-TransferAt: %v", err)
+	}
+	if !l.TryTransferAt(slot, slot, 3) {
+		t.Fatal("covered self-TryTransferAt refused")
+	}
+	if b, _ := l.Balance(1); b != 7 {
+		t.Fatalf("self-transfer changed the balance: %d", b)
+	}
+	if err := l.Transfer(1, 1, 8); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("uncovered self-transfer = %v, want ErrInsufficient", err)
+	}
+	if l.TryTransferAt(slot, slot, 8) {
+		t.Fatal("uncovered self-TryTransferAt succeeded")
+	}
+	if b, _ := l.Balance(1); b != 7 {
+		t.Fatalf("failed self-transfer changed the balance: %d", b)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaxPolicyUnderInjection pins the taxation/injection interplay: newly
+// minted credits raise balances past the threshold, so later income is
+// taxed; the policy's pool accounting (collected = paid out + pool) must
+// hold through interleaved deposits, taxation and redistribution.
+func TestTaxPolicyUnderInjection(t *testing.T) {
+	l := NewLedger()
+	for id := 0; id < 4; id++ {
+		if err := l.Open(id, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tax, err := NewTaxPolicy(1, 8) // deterministic: every credit above 8 is taxed
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := xrand.New(1)
+
+	// Below the threshold, income is untaxed even right after an injection.
+	if got := tax.TaxIncome(5, 1, r); got != 0 {
+		t.Fatalf("taxed %d below threshold", got)
+	}
+	// Injection pushes peer 0 over the threshold: balance 5 + 6 = 11.
+	if err := l.Deposit(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	// Income arriving on the inflated balance is taxed at the full rate.
+	taxed := tax.TaxIncome(11, 3, r)
+	if taxed != 3 {
+		t.Fatalf("taxed %d of 3 above threshold at rate 1", taxed)
+	}
+	if tax.Pool() != 3 || tax.Collected() != 3 {
+		t.Fatalf("pool/collected = %d/%d, want 3/3", tax.Pool(), tax.Collected())
+	}
+	// Not enough for a full 4-peer round: nothing pays out.
+	if rounds := tax.Redistribute(4); rounds != 0 {
+		t.Fatalf("redistributed %d rounds from a pool of 3", rounds)
+	}
+	// More taxed income completes a round.
+	if got := tax.TaxIncome(14, 2, r); got != 2 {
+		t.Fatalf("taxed %d of 2", got)
+	}
+	if rounds := tax.Redistribute(4); rounds != 1 {
+		t.Fatalf("redistributed %d rounds from a pool of 5", rounds)
+	}
+	if tax.Pool() != 1 {
+		t.Fatalf("pool = %d after one round, want 1", tax.Pool())
+	}
+	if tax.Collected() != tax.PaidOut()+tax.Pool() {
+		t.Fatalf("accounting drifted: collected %d != paid %d + pool %d",
+			tax.Collected(), tax.PaidOut(), tax.Pool())
+	}
+	// Zero-amount income is never taxed, inflated balance or not.
+	if got := tax.TaxIncome(100, 0, r); got != 0 {
+		t.Fatalf("taxed %d of zero income", got)
+	}
+	if err := l.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

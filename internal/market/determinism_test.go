@@ -6,7 +6,6 @@ import (
 	"creditp2p/internal/credit"
 	"creditp2p/internal/des"
 	"creditp2p/internal/topology"
-	"creditp2p/internal/trace"
 	"creditp2p/internal/xrand"
 )
 
@@ -264,47 +263,27 @@ func TestSpendRereadsBalanceAfterRedistribution(t *testing.T) {
 	if err := cfg.validate(); err != nil {
 		t.Fatal(err)
 	}
-	s := &simulation{
-		cfg:    cfg,
-		g:      cfg.Graph,
-		sched:  des.NewScheduler(),
-		rng:    xrand.New(cfg.Seed),
-		ledger: credit.NewLedger(),
-		res: &Result{
-			Gini:         trace.NewSeries("gini"),
-			Population:   trace.NewSeries("population"),
-			Supply:       trace.NewSeries("supply"),
-			FinalWealth:  make(map[int]int64),
-			SpendingRate: make(map[int]float64),
-		},
-	}
-	collector, err := s.ledger.OpenSlot(collectorID, 0)
+	s, err := newSimulation(cfg)
 	if err != nil {
 		t.Fatal(err)
-	}
-	s.collector = collector
-	for _, id := range g.Nodes() {
-		if _, err := s.addPeer(id, 1); err != nil {
-			t.Fatal(err)
-		}
 	}
 	// Two direct spends by peer 0. The first pays peer 1 (whose pre-income
 	// wealth 2 > threshold, so the credit is taxed into the pool); the
 	// second fills the pool to n=2, triggering a redistribution round that
 	// hands peer 0 a credit in the middle of its own spend.
-	p0 := &s.peers[0]
-	s.spend(0, p0.gen)
-	s.spend(0, p0.gen)
-	if got := s.ledger.BalanceAt(p0.acct); got != 1 {
+	gen := s.k.Peers.At(0).Gen
+	s.spend(0, gen)
+	s.spend(0, gen)
+	if got := s.k.Balance(0); got != 1 {
 		t.Fatalf("peer 0 balance = %d after redistribution, want 1", got)
 	}
-	if p0.idle {
+	if s.ws[0].idle {
 		t.Fatal("peer 0 stranded idle with a positive balance (stale-balance bug)")
 	}
-	if s.sched.Cancelled(p0.pending) {
+	if s.k.Sched.Cancelled(s.ws[0].pending) {
 		t.Fatal("peer 0 has no pending spend despite positive balance")
 	}
-	if err := s.ledger.CheckConservation(); err != nil {
+	if err := s.k.Ledger.CheckConservation(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,83 @@
+package market
+
+import (
+	"testing"
+
+	"creditp2p/internal/topology"
+)
+
+// TestStaleSpendEventInertAfterRecycle is the market half of the kernel's
+// generation-counter regression: a spend event scheduled for a peer that
+// departs, whose slot is then recycled by a newly joined peer, must be
+// inert when it fires — no transfer, no event count, no state change on
+// the new incarnation. Before the kernel extraction, market and streaming
+// each hand-rolled this invalidation; it now lives in sim.PeerTable.
+func TestStaleSpendEventInertAfterRecycle(t *testing.T) {
+	g := topology.NewGraph()
+	for id := 0; id < 4; id++ {
+		if err := g.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cfg := Config{
+		Graph:         g,
+		InitialWealth: 10,
+		DefaultMu:     1,
+		Horizon:       100,
+		Seed:          5,
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := s.k.Peers.PxOf(0)
+	staleGen := s.k.Peers.At(px).Gen
+	staleRef := s.k.Peers.RefOf(px)
+
+	// Peer 0 departs; its slot goes to the free list.
+	if !s.k.Depart(px) {
+		t.Fatal("departure refused")
+	}
+	if s.res.SpendEvents != 0 {
+		t.Fatalf("departure spent: %d events", s.res.SpendEvents)
+	}
+	// A fresh peer joins and recycles the slot.
+	if err := g.AddNode(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(9, 1); err != nil {
+		t.Fatal(err)
+	}
+	px2, err := s.k.Join(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if px2 != px {
+		t.Fatalf("slot not recycled: %d vs %d", px2, px)
+	}
+	before := s.k.Balance(px2)
+
+	// The stale spend event fires against the recycled slot.
+	s.spend(px, staleGen)
+
+	if got := s.k.Balance(px2); got != before {
+		t.Fatalf("stale spend moved credits: %d -> %d", before, got)
+	}
+	if s.res.SpendEvents != 0 {
+		t.Fatalf("stale spend counted: %d events", s.res.SpendEvents)
+	}
+	if _, ok := s.k.Peers.Resolve(staleRef); ok {
+		t.Fatal("stale ref resolved against the recycled slot")
+	}
+	if err := s.k.Ledger.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

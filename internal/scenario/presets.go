@@ -1,0 +1,88 @@
+package scenario
+
+import "creditp2p/internal/market"
+
+// The preset registry: regimes the individual simulators cannot express
+// without this layer. Each is pinned by a golden determinism test and runs
+// at every scale, including the 100k-peer ScaleLarge instance on the scale
+// engine.
+func init() {
+	Register(Scenario{
+		Name: "flash-crowd",
+		Summary: "Arrival-rate spike: a viral event multiplies the join rate 6x " +
+			"for a tenth of the run, then the swarm relaxes",
+		Workload: WorkloadMarket,
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Churn: Churn{
+			Pattern:      ChurnFlashCrowd,
+			ArrivalRate:  0.833, // equilibrium rate*lifespan = N: steady pre-spike population
+			MeanLifespan: 1200,
+			AttachDegree: 4,
+			// Flash-crowd joiners are random users, not topology-aware
+			// peers — and uniform attachment keeps degrees bounded, which
+			// is what lets the 100k-peer instance absorb ~1.7M graph
+			// mutations without hub adjacency lists going quadratic.
+			Preferential: false,
+			SpikeStart:   0.35,
+			SpikeLen:     0.1,
+			SpikeFactor:  6,
+		},
+		Credit:  Credit{InitialWealth: 30},
+		Market:  Market{DefaultMu: 1, Routing: market.RouteUniform},
+		Horizon: 2000,
+		Seed:    7001,
+	})
+	Register(Scenario{
+		Name: "free-rider-mix",
+		Summary: "A quarter of the peers consume but never serve; income " +
+			"concentrates on the serving majority and the free-riders bleed out",
+		Workload: WorkloadMarket,
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Churn:    Churn{Pattern: ChurnNone},
+		Credit:   Credit{InitialWealth: 30},
+		Market:   Market{DefaultMu: 1, Routing: market.RouteUniform, FreeRiderFrac: 0.25},
+		Horizon:  2000,
+		Seed:     7002,
+	})
+	Register(Scenario{
+		Name: "diurnal-churn",
+		Summary: "Time-of-day arrival cycle: the join rate swings sinusoidally " +
+			"(amplitude 0.8, two periods per run) while lifespans stay memoryless",
+		Workload: WorkloadMarket,
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Churn: Churn{
+			Pattern:      ChurnDiurnal,
+			ArrivalRate:  0.96, // equilibrium ~0.96N at the mean rate
+			MeanLifespan: 1000,
+			AttachDegree: 4,
+			Preferential: false, // bounded degrees under sustained churn
+			Period:       0.5,
+			Amplitude:    0.8,
+		},
+		Credit:  Credit{InitialWealth: 30},
+		Market:  Market{DefaultMu: 1, Routing: market.RouteUniform},
+		Horizon: 2000,
+		Seed:    7003,
+	})
+	Register(Scenario{
+		Name: "seeder-drain",
+		Summary: "3% of the swarm are high-capacity seeders that depart one by " +
+			"one mid-run; chunk supply tightens and playback continuity sags",
+		Workload: WorkloadStreaming,
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Credit:   Credit{InitialWealth: 15},
+		Streaming: Streaming{
+			StreamRate:      2,
+			DelaySeconds:    8,
+			UploadCap:       1,
+			DownloadCap:     3,
+			SourceSeeds:     4,
+			SeederFrac:      0.03,
+			SeederUploadCap: 10,
+			DrainStart:      0.4,
+			DrainEnd:        0.8,
+		},
+		Horizon: 400,
+		Seed:    7004,
+	})
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"creditp2p/internal/stats"
+	"creditp2p/internal/trace"
+)
+
+// Snapshot is a full sorted wealth distribution at one instant.
+type Snapshot struct {
+	Time   float64
+	Sorted []float64
+}
+
+// Metrics is the kernel's measurement pipeline: the periodic wealth-Gini /
+// population / supply series, requested wealth snapshots, and the optional
+// incremental Gini sampler that mirrors every live-peer balance change so
+// sampling is O(1) instead of a re-sort.
+type Metrics struct {
+	// Gini is the wealth-Gini time series.
+	Gini *trace.Series
+	// Population is the live-peer-count time series.
+	Population *trace.Series
+	// Supply is the money-supply time series.
+	Supply *trace.Series
+	// Snapshots are the recorded sorted wealth distributions.
+	Snapshots []Snapshot
+
+	// inc is the incremental sampler; nil selects the sorting sampler.
+	inc *stats.IncGini
+	// wealthBuf and balBuf are reused scratch vectors for sampling and
+	// snapshots.
+	wealthBuf []float64
+	balBuf    []int64
+}
+
+func newMetrics(incremental bool, domainHint int64) Metrics {
+	m := Metrics{
+		Gini:       trace.NewSeries("gini"),
+		Population: trace.NewSeries("population"),
+		Supply:     trace.NewSeries("supply"),
+	}
+	if incremental {
+		m.inc = stats.NewIncGini(domainHint)
+	}
+	return m
+}
+
+// Incremental reports whether the O(1) sampler is active.
+func (m *Metrics) Incremental() bool { return m.inc != nil }
+
+// insert mirrors a peer joining with the given balance.
+func (m *Metrics) insert(balance int64) {
+	if m.inc != nil {
+		m.inc.Insert(balance)
+	}
+}
+
+// remove mirrors a peer departing with the given balance.
+func (m *Metrics) remove(balance int64) {
+	if m.inc != nil {
+		m.inc.Remove(balance)
+	}
+}
+
+// move mirrors one balance changing from old to new.
+func (m *Metrics) move(oldBal, newBal int64) {
+	if m.inc != nil {
+		m.inc.Update(oldBal, newBal)
+	}
+}

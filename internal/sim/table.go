@@ -1,0 +1,129 @@
+package sim
+
+// PeerTable interns external overlay ids into dense peer indices (px). It is
+// the shared slab both simulation workloads used to hand-roll: slots of
+// departed peers are recycled through a free list, and a per-slot generation
+// counter distinguishes incarnations, so any reference captured before a
+// departure — an in-flight DES event payload, a cached index, a Ref — is
+// inert once the slot has been recycled.
+//
+// Ids must be non-negative and reasonably compact (they index a dense
+// id→px table, exactly like topology.Graph's id→slot table).
+type PeerTable struct {
+	peers []Peer
+	// idx interns overlay ids: idx[id] is px+1, 0 marks absent.
+	idx  []int32
+	free []int32
+	live int
+}
+
+// Peer is the kernel-owned part of one dense peer record. Workload-specific
+// state lives in the workload's own slice, parallel to this slab.
+type Peer struct {
+	// ID is the external overlay id the index was interned from.
+	ID int
+	// Acct is the peer's dense ledger slot.
+	Acct int32
+	// Gen is bumped when the peer departs; in-flight events and Refs
+	// carrying the old generation no longer resolve.
+	Gen uint32
+	// Alive is false for free (departed) slots.
+	Alive bool
+}
+
+// Ref is a generation-counted reference to a peer slot. The zero Ref never
+// resolves. Holding a Ref across a departure is safe: once the slot is
+// recycled the Ref is inert.
+type Ref struct {
+	Px  int32
+	Gen uint32
+}
+
+// Len returns the slab length (peak live population); indices in [0, Len)
+// may be dead — check Alive or Current.
+func (t *PeerTable) Len() int { return len(t.peers) }
+
+// Live returns the number of live peers.
+func (t *PeerTable) Live() int { return t.live }
+
+// At returns the peer record at a dense index. The record may be dead.
+func (t *PeerTable) At(px int32) *Peer { return &t.peers[px] }
+
+// PxOf resolves an overlay id to its dense index, or -1 when not interned.
+func (t *PeerTable) PxOf(id int) int32 {
+	if id < 0 || id >= len(t.idx) {
+		return -1
+	}
+	return t.idx[id] - 1
+}
+
+// Current reports whether the (px, gen) pair still names a live incarnation
+// — the deduplicated invalidation check both workloads apply to in-flight
+// events addressed to a possibly-departed peer.
+func (t *PeerTable) Current(px int32, gen uint32) bool {
+	if px < 0 || int(px) >= len(t.peers) {
+		return false
+	}
+	p := &t.peers[px]
+	return p.Alive && p.Gen == gen
+}
+
+// RefOf captures a generation-counted reference to a live slot.
+func (t *PeerTable) RefOf(px int32) Ref {
+	return Ref{Px: px, Gen: t.peers[px].Gen}
+}
+
+// Resolve returns the dense index a Ref names, or ok=false when the peer
+// has departed (or the slot was recycled by a newer incarnation).
+func (t *PeerTable) Resolve(r Ref) (int32, bool) {
+	if !t.Current(r.Px, r.Gen) {
+		return -1, false
+	}
+	return r.Px, true
+}
+
+// Intern binds id to a dense index (recycling a free slot when one exists)
+// with the given ledger slot. The generation counter survives slot reuse, so
+// stale references to the previous incarnation stay inert.
+func (t *PeerTable) Intern(id int, acct int32) int32 {
+	var px int32
+	if n := len(t.free); n > 0 {
+		px = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		t.peers = append(t.peers, Peer{})
+		px = int32(len(t.peers) - 1)
+	}
+	p := &t.peers[px]
+	p.ID = id
+	p.Acct = acct
+	p.Alive = true
+	t.setIdx(id, px)
+	t.live++
+	return px
+}
+
+// Release marks the slot dead, bumps its generation (invalidating every
+// outstanding event payload and Ref), clears the interning entry and
+// recycles the slot.
+func (t *PeerTable) Release(px int32) {
+	p := &t.peers[px]
+	p.Alive = false
+	p.Gen++
+	t.idx[p.ID] = 0
+	t.free = append(t.free, px)
+	t.live--
+}
+
+func (t *PeerTable) setIdx(id int, px int32) {
+	if id >= len(t.idx) {
+		grown := 2 * len(t.idx)
+		if grown <= id {
+			grown = id + 1
+		}
+		n := make([]int32, grown)
+		copy(n, t.idx)
+		t.idx = n
+	}
+	t.idx[id] = px + 1
+}

@@ -1,0 +1,93 @@
+package sim
+
+import "testing"
+
+func TestPeerTableInternResolve(t *testing.T) {
+	var tab PeerTable
+	px := tab.Intern(7, 3)
+	if got := tab.PxOf(7); got != px {
+		t.Fatalf("PxOf(7) = %d, want %d", got, px)
+	}
+	p := tab.At(px)
+	if p.ID != 7 || p.Acct != 3 || !p.Alive {
+		t.Fatalf("peer record %+v", *p)
+	}
+	if tab.Live() != 1 || tab.Len() != 1 {
+		t.Fatalf("live/len = %d/%d", tab.Live(), tab.Len())
+	}
+	ref := tab.RefOf(px)
+	if got, ok := tab.Resolve(ref); !ok || got != px {
+		t.Fatalf("Resolve(live ref) = %d, %v", got, ok)
+	}
+	if !tab.Current(px, p.Gen) {
+		t.Fatal("Current(live) = false")
+	}
+}
+
+// TestPeerTableStaleRefInert is the kernel-level half of the stale-handle
+// regression: after a slot is released and recycled by a new incarnation,
+// every reference captured before the release must be inert.
+func TestPeerTableStaleRefInert(t *testing.T) {
+	var tab PeerTable
+	px := tab.Intern(1, 0)
+	gen := tab.At(px).Gen
+	ref := tab.RefOf(px)
+	tab.Release(px)
+	if tab.Current(px, gen) {
+		t.Fatal("Current true after release")
+	}
+	if _, ok := tab.Resolve(ref); ok {
+		t.Fatal("stale ref resolved after release")
+	}
+	if got := tab.PxOf(1); got != -1 {
+		t.Fatalf("PxOf(released) = %d, want -1", got)
+	}
+	// Recycle the slot under a different id: the stale ref must stay inert
+	// even though the slot is live again.
+	px2 := tab.Intern(2, 1)
+	if px2 != px {
+		t.Fatalf("slot not recycled: %d vs %d", px2, px)
+	}
+	if tab.Current(px, gen) {
+		t.Fatal("stale (px, gen) current after recycle")
+	}
+	if _, ok := tab.Resolve(ref); ok {
+		t.Fatal("stale ref resolved after recycle")
+	}
+	if !tab.Current(px2, tab.At(px2).Gen) {
+		t.Fatal("new incarnation not current")
+	}
+	if tab.Live() != 1 {
+		t.Fatalf("live = %d, want 1", tab.Live())
+	}
+}
+
+func TestPeerTableOutOfRange(t *testing.T) {
+	var tab PeerTable
+	if tab.Current(-1, 0) || tab.Current(0, 0) {
+		t.Fatal("Current on empty table")
+	}
+	if got := tab.PxOf(-5); got != -1 {
+		t.Fatalf("PxOf(-5) = %d", got)
+	}
+	if got := tab.PxOf(99); got != -1 {
+		t.Fatalf("PxOf(99) = %d", got)
+	}
+	if _, ok := tab.Resolve(Ref{}); ok {
+		t.Fatal("zero Ref resolved")
+	}
+}
+
+func TestPeerTableIdxGrowth(t *testing.T) {
+	var tab PeerTable
+	ids := []int{0, 100, 3, 5000}
+	for _, id := range ids {
+		tab.Intern(id, int32(id))
+	}
+	for _, id := range ids {
+		px := tab.PxOf(id)
+		if px < 0 || tab.At(px).ID != id {
+			t.Fatalf("lost peer %d (px %d)", id, px)
+		}
+	}
+}

@@ -10,11 +10,13 @@
 // buy, soon has nothing fresh to sell, loses its income, and its playback
 // and spending rate collapse — the condensation failure mode in the wild.
 //
-// Peer state is flat: overlay ids are interned to dense indices once at
-// startup, balances live in dense ledger slots, and each peer's buffer map
-// is a ring over the playback window (chunk lifetimes are bounded by the
-// playback delay, so a slot is recycled only after its chunk is evicted).
-// The per-round trading pass runs without map lookups or allocations.
+// The swarm is a sim.Workload driven by kernel ticks (one per second): the
+// shared kernel (internal/sim) owns the dense peer table, the ledger
+// binding, the metrics pipeline and peer teardown — planned Departures
+// model a seeder drain, with the departing peer's credits burned and its
+// chunks gone. Peer state stays flat: balances live in dense ledger slots
+// and each peer's buffer map is a ring over the playback window, so the
+// per-round trading pass runs without map lookups or allocations.
 package streaming
 
 import (
@@ -23,14 +25,26 @@ import (
 	"math"
 
 	"creditp2p/internal/credit"
+	"creditp2p/internal/des"
+	"creditp2p/internal/sim"
 	"creditp2p/internal/stats"
 	"creditp2p/internal/topology"
 	"creditp2p/internal/trace"
-	"creditp2p/internal/xrand"
 )
 
 // ErrBadConfig is returned for invalid configurations.
 var ErrBadConfig = errors.New("streaming: invalid config")
+
+// Departure schedules one planned peer teardown: the peer leaves at the
+// start of round AtSecond, its credits are burned and its chunks vanish —
+// the building block of the seeder-drain regime (high-inventory peers
+// leaving a swarm that depends on them).
+type Departure struct {
+	// ID is the overlay id of the departing peer.
+	ID int
+	// AtSecond is the round at whose start the peer leaves.
+	AtSecond int
+}
 
 // Config describes one streaming-market simulation. Time advances in
 // one-second rounds.
@@ -57,6 +71,10 @@ type Config struct {
 	InitialWealth int64
 	// Pricing quotes per-chunk prices (uniform 1 credit by default).
 	Pricing credit.Pricing
+	// Departures lists planned peer teardowns (seeder drain). Seeding
+	// pushes and buffer probes aimed at a departed peer are wasted, as
+	// they would be in a real swarm.
+	Departures []Departure
 	// HorizonSeconds is the simulated duration.
 	HorizonSeconds int
 	// MeasureStartSeconds opens the measurement window for spending rates
@@ -105,10 +123,20 @@ func (c *Config) validate() error {
 	if c.ProbesPerNeighbor <= 0 {
 		c.ProbesPerNeighbor = 6
 	}
+	for _, d := range c.Departures {
+		if !c.Graph.HasNode(d.ID) {
+			return fmt.Errorf("%w: departure of unknown peer %d", ErrBadConfig, d.ID)
+		}
+		if d.AtSecond < 0 || d.AtSecond >= c.HorizonSeconds {
+			return fmt.Errorf("%w: departure of peer %d at %d outside [0, %d)", ErrBadConfig, d.ID, d.AtSecond, c.HorizonSeconds)
+		}
+	}
 	return nil
 }
 
-// Result aggregates the outcome of one run.
+// Result aggregates the outcome of one run. The per-peer maps cover the
+// peers alive at the end of the run; departed peers are gone from the
+// economy, accounts included.
 type Result struct {
 	// SpendingRate maps peer id to credits spent per second within the
 	// measurement window — Fig. 1's y-axis.
@@ -134,12 +162,14 @@ type Result struct {
 	ChunksSeeded uint64
 	// Stalls counts chunks missed at their playback deadline (window).
 	Stalls uint64
+	// Departures counts planned peer teardowns executed.
+	Departures uint64
 }
 
-// peer is the dense per-peer record. Chunk possession is a ring bitmap over
-// the playback window plus a sample list for buffer-map probes.
-type peer struct {
-	acct     int32 // dense ledger slot
+// speer is the streaming workload's per-peer record, parallel to the
+// kernel's dense peer slab. Chunk possession is a ring bitmap over the
+// playback window plus a sample list for buffer-map probes.
+type speer struct {
 	upCap    int32
 	upUsed   int32
 	downUsed int32
@@ -161,11 +191,12 @@ type peer struct {
 	missed   int
 }
 
-// sim carries the flat state shared by the round phases.
-type sim struct {
+// swarm carries the flat state shared by the round phases.
+type swarm struct {
 	cfg   Config
-	peers []peer
-	ids   []int // dense index -> overlay id
+	k     *sim.Kernel
+	peers []speer
+	ids   []int // dense index -> overlay id at start
 	// ringLen is the window ring size: the smallest power of two covering
 	// the chunk lifetime (DelaySeconds+1)*StreamRate, so the slot of a
 	// chunk is a mask instead of a modulo.
@@ -175,10 +206,19 @@ type sim struct {
 	// price quotes, pre-resolved per seller when the scheme allows it.
 	sellerPrice []int64
 	pricing     credit.Pricing // nil when sellerPrice is active
-	// inc is the incremental wealth-Gini sampler; nil means the sorting
-	// sampler.
-	inc *stats.IncGini
+	// rings/lists are the shared slabs OnJoin carves per-peer segments
+	// from; listCap is the per-peer haveList capacity.
+	rings   []int
+	lists   []int
+	listCap int
+	// departAt maps a round to the peers torn down at its start, in
+	// Config.Departures order.
+	departAt map[int][]int32
+	order    []int32
+	res      *Result
 }
+
+var _ sim.Workload = (*swarm)(nil)
 
 // noChunk marks an empty ring slot; valid chunk ids (>= -DelaySeconds *
 // StreamRate) are always greater. math.MinInt stays representable on
@@ -186,20 +226,20 @@ type sim struct {
 const noChunk = math.MinInt
 
 // ringIdx maps a chunk id to its window slot.
-func (s *sim) ringIdx(chunk int) int { return (chunk + s.ringOff) & s.ringMask }
+func (s *swarm) ringIdx(chunk int) int { return (chunk + s.ringOff) & s.ringMask }
 
 // has reports possession of chunk for the peer.
-func (s *sim) has(p *peer, chunk int) bool { return p.have[s.ringIdx(chunk)] == chunk }
+func (s *swarm) has(p *speer, chunk int) bool { return p.have[s.ringIdx(chunk)] == chunk }
 
 // addChunk records possession of a chunk.
-func (s *sim) addChunk(p *peer, chunk int) {
+func (s *swarm) addChunk(p *speer, chunk int) {
 	p.have[s.ringIdx(chunk)] = chunk
 	p.haveCount++
 	p.haveList = append(p.haveList, chunk)
 }
 
 // compact prunes evicted chunks from haveList once staleness dominates.
-func (s *sim) compact(p *peer) {
+func (s *swarm) compact(p *speer) {
 	if len(p.haveList) <= 4*p.haveCount+16 {
 		return
 	}
@@ -214,11 +254,59 @@ func (s *sim) compact(p *peer) {
 
 // price quotes seller's price for chunk through the fast path when the
 // scheme is per-seller flat, falling back to the Pricing interface.
-func (s *sim) price(seller int32, chunk int) int64 {
+func (s *swarm) price(seller int32, chunk int) int64 {
 	if s.sellerPrice != nil {
 		return s.sellerPrice[seller]
 	}
-	return s.pricing.Price(s.ids[seller], chunk)
+	return s.pricing.Price(s.k.Peers.At(seller).ID, chunk)
+}
+
+// OnJoin installs a joining peer's window ring, buffer list and upload cap
+// (sim.Workload). The swarm population is fixed at start, so px always
+// extends the slab.
+func (s *swarm) OnJoin(px int32) error {
+	id := s.k.Peers.At(px).ID
+	upCap := s.cfg.UploadCap
+	if v, ok := s.cfg.UploadCapOf[id]; ok {
+		if v < 1 {
+			return fmt.Errorf("%w: upload cap %d for peer %d", ErrBadConfig, v, id)
+		}
+		upCap = v
+	}
+	if int(px) >= len(s.peers) {
+		s.peers = append(s.peers, speer{})
+	}
+	i := int(px)
+	p := &s.peers[px]
+	*p = speer{
+		upCap:    int32(upCap),
+		have:     s.rings[i*s.ringLen : (i+1)*s.ringLen : (i+1)*s.ringLen],
+		haveList: s.lists[i*s.listCap : i*s.listCap : (i+1)*s.listCap],
+	}
+	return nil
+}
+
+// OnDepart tears a peer's streaming state down (sim.Workload): its chunks
+// vanish with it, so neighbors can no longer probe or buy from the slot,
+// and the kernel's generation bump makes any retained reference inert.
+func (s *swarm) OnDepart(px int32) {
+	p := &s.peers[px]
+	for _, c := range p.haveList {
+		p.have[s.ringIdx(c)] = noChunk
+	}
+	p.haveList = p.haveList[:0]
+	p.haveCount = 0
+	p.upCap = 0
+}
+
+// Sample implements sim.Workload; sampling is tick-driven.
+func (s *swarm) Sample(float64) {}
+
+// OnEvent runs one trading round per kernel tick (sim.Workload).
+func (s *swarm) OnEvent(ev des.Event) {
+	if ev.Kind == sim.KindTick {
+		s.round(int(ev.Payload))
+	}
 }
 
 // Run executes the simulation.
@@ -226,69 +314,80 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	rng := xrand.New(cfg.Seed)
-	ledger := credit.NewLedger()
+	s, err := newSwarm(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.k.Start(); err != nil {
+		return nil, err
+	}
+	s.k.Run()
+	if err := s.finish(); err != nil {
+		return nil, err
+	}
+	return s.res, nil
+}
+
+// newSwarm builds the kernel, joins the population, resolves neighborhoods
+// and prices, and warm-starts the buffers, leaving the run ready to Start.
+// cfg must already be validated.
+func newSwarm(cfg Config) (*swarm, error) {
 	ids := cfg.Graph.Nodes()
 	n := len(ids)
-	idx := make(map[int]int32, n)
-	for i, id := range ids {
-		idx[id] = int32(i)
-	}
 	ringLen := 1
 	for ringLen < (cfg.DelaySeconds+1)*cfg.StreamRate {
 		ringLen <<= 1
 	}
-	s := &sim{
+	s := &swarm{
 		cfg:      cfg,
-		peers:    make([]peer, n),
 		ids:      ids,
 		ringLen:  ringLen,
 		ringMask: ringLen - 1,
 		ringOff:  cfg.DelaySeconds * cfg.StreamRate,
 	}
-	if cfg.IncrementalGini {
-		s.inc = stats.NewIncGini(4 * cfg.InitialWealth)
-		for i := 0; i < n; i++ {
-			s.inc.Insert(cfg.InitialWealth)
-		}
+	k, err := sim.NewKernel(sim.Config{
+		Graph:           cfg.Graph,
+		InitialWealth:   cfg.InitialWealth,
+		Horizon:         float64(cfg.HorizonSeconds),
+		Seed:            cfg.Seed,
+		IncrementalGini: cfg.IncrementalGini,
+		TickEvery:       1,
+	}, s)
+	if err != nil {
+		return nil, err
 	}
+	s.k = k
+	k.Metrics.Gini.Name = "wealth-gini"
 	// Bulk-allocate the per-peer window rings, neighbor lists and buffer-map
 	// sample lists as slices of three shared slabs instead of 3n small
 	// allocations. listCap bounds haveList growth: compaction (once per
 	// round) trims it to haveCount <= ringLen whenever it exceeds
 	// 4*haveCount+16, and a round adds at most DownloadCap purchases plus
 	// the source pushes, so a list never outgrows its slab segment.
-	rings := make([]int, n*s.ringLen)
-	for i := range rings {
-		rings[i] = noChunk
+	s.rings = make([]int, n*s.ringLen)
+	for i := range s.rings {
+		s.rings[i] = noChunk
 	}
-	nbrSlab := make([]int32, 0, 2*cfg.Graph.NumEdges())
-	listCap := 4*s.ringLen + 16 + cfg.DownloadCap + cfg.SourceSeeds*cfg.StreamRate
-	lists := make([]int, n*listCap)
-	var nbrScratch []int
-	for i, id := range ids {
-		acct, err := ledger.OpenSlot(id, cfg.InitialWealth)
-		if err != nil {
+	s.listCap = 4*s.ringLen + 16 + cfg.DownloadCap + cfg.SourceSeeds*cfg.StreamRate
+	s.lists = make([]int, n*s.listCap)
+	s.peers = make([]speer, 0, n)
+	for _, id := range ids {
+		if _, err := k.Join(id); err != nil {
 			return nil, err
 		}
-		upCap := cfg.UploadCap
-		if v, ok := cfg.UploadCapOf[id]; ok {
-			if v < 1 {
-				return nil, fmt.Errorf("%w: upload cap %d for peer %d", ErrBadConfig, v, id)
-			}
-			upCap = v
-		}
-		p := &s.peers[i]
-		p.acct = acct
-		p.upCap = int32(upCap)
-		p.have = rings[i*s.ringLen : (i+1)*s.ringLen : (i+1)*s.ringLen]
-		p.haveList = lists[i*listCap : i*listCap : (i+1)*listCap]
-		nbrScratch = cfg.Graph.AppendNeighbors(nbrScratch[:0], id)
+	}
+	// Resolve routing neighborhoods to peer indices once, carved from one
+	// shared slab (the overlay is static; departed slots are skipped at
+	// trade time via their emptied buffer maps).
+	nbrSlab := make([]int32, 0, 2*cfg.Graph.NumEdges())
+	var nbrScratch []int
+	for px := 0; px < n; px++ {
+		nbrScratch = cfg.Graph.AppendNeighbors(nbrScratch[:0], s.ids[px])
 		start := len(nbrSlab)
 		for _, nb := range nbrScratch {
-			nbrSlab = append(nbrSlab, idx[nb])
+			nbrSlab = append(nbrSlab, k.Peers.PxOf(nb))
 		}
-		p.nbrs = nbrSlab[start:len(nbrSlab):len(nbrSlab)]
+		s.peers[px].nbrs = nbrSlab[start:len(nbrSlab):len(nbrSlab)]
 	}
 	// Pre-resolve per-seller flat prices so the trading loop skips the
 	// interface call and map lookup per probe. Schemes whose price depends
@@ -307,12 +406,11 @@ func Run(cfg Config) (*Result, error) {
 	default:
 		s.pricing = cfg.Pricing
 	}
-	res := &Result{
+	s.res = &Result{
 		SpendingRate: make(map[int]float64, n),
 		DownloadRate: make(map[int]float64, n),
 		Continuity:   make(map[int]float64, n),
 		FinalWealth:  make(map[int]int64, n),
-		WealthGini:   trace.NewSeries("wealth-gini"),
 	}
 	// Warm start: every peer holds the full pre-roll window (chunk ids
 	// below 0), as if the swarm has already been streaming healthily. A
@@ -324,173 +422,190 @@ func Run(cfg Config) (*Result, error) {
 			s.addChunk(p, chunk)
 		}
 	}
-	order := make([]int32, n)
-	for i := range order {
-		order[i] = int32(i)
+	if len(cfg.Departures) > 0 {
+		s.departAt = make(map[int][]int32, len(cfg.Departures))
+		for _, d := range cfg.Departures {
+			s.departAt[d.AtSecond] = append(s.departAt[d.AtSecond], k.Peers.PxOf(d.ID))
+		}
 	}
-	wealthBuf := make([]float64, n)
-	balBuf := make([]int64, n)
-	// wealthGini reads the current balance Gini: O(1) from the incremental
-	// sampler, otherwise by sorting. Both paths are bit-identical.
-	wealthGini := func() (float64, error) {
-		if s.inc != nil {
-			return s.inc.Gini()
+	s.order = make([]int32, n)
+	for i := range s.order {
+		s.order[i] = int32(i)
+	}
+	return s, nil
+}
+
+// round executes one second of swarm time: planned departures, source
+// seeding, the trading pass, playback/eviction, and the periodic sample.
+func (s *swarm) round(t int) {
+	cfg, k, rng, res := &s.cfg, s.k, s.k.RNG, s.res
+	n := len(s.peers)
+	inWindow := t >= cfg.MeasureStartSeconds
+
+	// 0. Planned teardowns scheduled for this round.
+	for _, px := range s.departAt[t] {
+		if px >= 0 && k.Depart(px) {
+			res.Departures++
 		}
-		for i := range s.peers {
-			balBuf[i] = ledger.BalanceAt(s.peers[i].acct)
-		}
-		var g float64
-		var err error
-		g, wealthBuf, err = stats.GiniIntsInPlace(balBuf, wealthBuf)
-		return g, err
 	}
 
-	for t := 0; t < cfg.HorizonSeconds; t++ {
-		inWindow := t >= cfg.MeasureStartSeconds
-
-		// 1. Source emits this second's chunks and seeds each to a few
-		// random peers for free.
-		for k := 0; k < cfg.StreamRate; k++ {
-			chunk := t*cfg.StreamRate + k
-			for sd := 0; sd < cfg.SourceSeeds; sd++ {
-				p := &s.peers[rng.Intn(n)]
-				if !s.has(p, chunk) {
-					s.addChunk(p, chunk)
-					res.ChunksSeeded++
-				}
-			}
-		}
-
-		// 2. Reset per-round capacities; randomize buyer order for fairness.
-		for i := range s.peers {
-			s.peers[i].upUsed, s.peers[i].downUsed = 0, 0
-		}
-		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
-
-		// 3. Trading pass: each buyer samples neighbors' buffer maps and
-		// buys useful window chunks (mesh-pull with limited gossip).
-		playhead := (t - cfg.DelaySeconds) * cfg.StreamRate
-		if playhead < 0 {
-			playhead = 0
-		}
-		downCap := int32(cfg.DownloadCap)
-		ringOff := s.ringOff
-		freshSpan := 4 * cfg.StreamRate
-		for _, bi := range order {
-			p := &s.peers[bi]
-			if len(p.nbrs) == 0 || p.downUsed >= downCap {
+	// 1. Source emits this second's chunks and seeds each to a few random
+	// peers for free. A push aimed at a departed slot is wasted (the
+	// source does not know who left), but draws the same randomness, so
+	// departure-free runs are byte-identical to the pre-teardown engine.
+	for c := 0; c < cfg.StreamRate; c++ {
+		chunk := t*cfg.StreamRate + c
+		for sd := 0; sd < cfg.SourceSeeds; sd++ {
+			px := rng.Intn(n)
+			if !k.Peers.At(int32(px)).Alive {
 				continue
 			}
-			balance := ledger.BalanceAt(p.acct)
-			pHave := p.have
-			// Visit neighbors starting from a random offset, in two sweeps:
-			// idle sellers first (least-loaded request routing, as real
-			// mesh protocols do for load balancing), then anyone with
-			// spare upload capacity.
-			offset := rng.Intn(len(p.nbrs))
-			for sweep := 0; sweep < 2 && p.downUsed < downCap; sweep++ {
-				cursor := offset
-				for ni := 0; ni < len(p.nbrs) && p.downUsed < downCap; ni++ {
-					si := p.nbrs[cursor]
-					cursor++
-					if cursor == len(p.nbrs) {
-						cursor = 0
-					}
-					q := &s.peers[si]
-					if len(q.haveList) == 0 {
-						continue
-					}
-					if sweep == 0 && q.upUsed > 0 {
-						continue
-					}
-					qHave := q.have
-					for probe := 0; probe < cfg.ProbesPerNeighbor &&
-						p.downUsed < downCap && q.upUsed < q.upCap; probe++ {
-						// Alternate between the seller's freshest
-						// acquisitions (what a buyer most likely misses)
-						// and uniform window samples.
-						var chunk int
-						if probe&1 == 0 {
-							tail := len(q.haveList)
-							span := tail
-							if span > freshSpan {
-								span = freshSpan
-							}
-							chunk = q.haveList[tail-1-rng.Intn(span)]
-						} else {
-							chunk = q.haveList[rng.Intn(len(q.haveList))]
-						}
-						// Inlined possession checks; the &(len-1) form lets
-						// the compiler elide the ring bounds checks.
-						if qHave[(chunk+ringOff)&(len(qHave)-1)] != chunk ||
-							chunk < playhead ||
-							pHave[(chunk+ringOff)&(len(pHave)-1)] == chunk {
-							continue
-						}
-						price := s.price(si, chunk)
-						if price > balance {
-							continue
-						}
-						if price > 0 {
-							if !ledger.TryTransferAt(p.acct, q.acct, price) {
-								continue
-							}
-							balance -= price
-							if s.inc != nil {
-								s.inc.Update(balance+price, balance)
-								qb := ledger.BalanceAt(q.acct)
-								s.inc.Update(qb-price, qb)
-							}
-							if inWindow {
-								p.spent += price
-							}
-						}
-						s.addChunk(p, chunk)
-						q.upUsed++
-						p.downUsed++
-						if inWindow {
-							p.bought++
-						}
-						res.ChunksTraded++
-					}
-				}
-			}
-		}
-
-		// 4. Playback and eviction: chunks whose deadline passed leave the
-		// window; present means played, absent means a stall. Pre-roll
-		// chunks (negative ids) are evicted like any others.
-		evictBelow := (t + 1 - cfg.DelaySeconds) * cfg.StreamRate
-		for i := range s.peers {
-			p := &s.peers[i]
-			for chunk := evictBelow - cfg.StreamRate; chunk < evictBelow; chunk++ {
-				ri := s.ringIdx(chunk)
-				if p.have[ri] == chunk {
-					p.have[ri] = noChunk
-					p.haveCount--
-					if inWindow {
-						p.played++
-					}
-				} else if inWindow {
-					p.missed++
-					res.Stalls++
-				}
-			}
-			s.compact(p)
-		}
-
-		// 5. Periodic wealth-Gini sample.
-		if t%100 == 0 {
-			if g, err := wealthGini(); err == nil {
-				res.WealthGini.Add(float64(t), g)
+			p := &s.peers[px]
+			if !s.has(p, chunk) {
+				s.addChunk(p, chunk)
+				res.ChunksSeeded++
 			}
 		}
 	}
 
-	// Final metrics.
+	// 2. Reset per-round capacities; randomize buyer order for fairness.
+	for i := range s.peers {
+		s.peers[i].upUsed, s.peers[i].downUsed = 0, 0
+	}
+	rng.Shuffle(n, func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] })
+
+	// 3. Trading pass: each buyer samples neighbors' buffer maps and buys
+	// useful window chunks (mesh-pull with limited gossip). Departed
+	// sellers hold nothing (their buffer maps were emptied at teardown),
+	// so the existing empty-list skip covers them.
+	playhead := (t - cfg.DelaySeconds) * cfg.StreamRate
+	if playhead < 0 {
+		playhead = 0
+	}
+	downCap := int32(cfg.DownloadCap)
+	ringOff := s.ringOff
+	freshSpan := 4 * cfg.StreamRate
+	for _, bi := range s.order {
+		kp := k.Peers.At(bi)
+		if !kp.Alive {
+			continue
+		}
+		p := &s.peers[bi]
+		if len(p.nbrs) == 0 || p.downUsed >= downCap {
+			continue
+		}
+		balance := k.Ledger.BalanceAt(kp.Acct)
+		pHave := p.have
+		// Visit neighbors starting from a random offset, in two sweeps:
+		// idle sellers first (least-loaded request routing, as real
+		// mesh protocols do for load balancing), then anyone with
+		// spare upload capacity.
+		offset := rng.Intn(len(p.nbrs))
+		for sweep := 0; sweep < 2 && p.downUsed < downCap; sweep++ {
+			cursor := offset
+			for ni := 0; ni < len(p.nbrs) && p.downUsed < downCap; ni++ {
+				si := p.nbrs[cursor]
+				cursor++
+				if cursor == len(p.nbrs) {
+					cursor = 0
+				}
+				q := &s.peers[si]
+				if len(q.haveList) == 0 {
+					continue
+				}
+				if sweep == 0 && q.upUsed > 0 {
+					continue
+				}
+				qHave := q.have
+				for probe := 0; probe < cfg.ProbesPerNeighbor &&
+					p.downUsed < downCap && q.upUsed < q.upCap; probe++ {
+					// Alternate between the seller's freshest
+					// acquisitions (what a buyer most likely misses)
+					// and uniform window samples.
+					var chunk int
+					if probe&1 == 0 {
+						tail := len(q.haveList)
+						span := tail
+						if span > freshSpan {
+							span = freshSpan
+						}
+						chunk = q.haveList[tail-1-rng.Intn(span)]
+					} else {
+						chunk = q.haveList[rng.Intn(len(q.haveList))]
+					}
+					// Inlined possession checks; the &(len-1) form lets
+					// the compiler elide the ring bounds checks.
+					if qHave[(chunk+ringOff)&(len(qHave)-1)] != chunk ||
+						chunk < playhead ||
+						pHave[(chunk+ringOff)&(len(pHave)-1)] == chunk {
+						continue
+					}
+					price := s.price(si, chunk)
+					if price > balance {
+						continue
+					}
+					if price > 0 {
+						if !k.Transfer(bi, si, price) {
+							continue
+						}
+						balance -= price
+						if inWindow {
+							p.spent += price
+						}
+					}
+					s.addChunk(p, chunk)
+					q.upUsed++
+					p.downUsed++
+					if inWindow {
+						p.bought++
+					}
+					res.ChunksTraded++
+				}
+			}
+		}
+	}
+
+	// 4. Playback and eviction: chunks whose deadline passed leave the
+	// window; present means played, absent means a stall. Pre-roll
+	// chunks (negative ids) are evicted like any others. Departed peers
+	// neither play nor stall.
+	evictBelow := (t + 1 - cfg.DelaySeconds) * cfg.StreamRate
+	for i := range s.peers {
+		if !k.Peers.At(int32(i)).Alive {
+			continue
+		}
+		p := &s.peers[i]
+		for chunk := evictBelow - cfg.StreamRate; chunk < evictBelow; chunk++ {
+			ri := s.ringIdx(chunk)
+			if p.have[ri] == chunk {
+				p.have[ri] = noChunk
+				p.haveCount--
+				if inWindow {
+					p.played++
+				}
+			} else if inWindow {
+				p.missed++
+				res.Stalls++
+			}
+		}
+		s.compact(p)
+	}
+
+	// 5. Periodic wealth-Gini sample.
+	if t%100 == 0 {
+		k.RecordSample(float64(t))
+	}
+}
+
+func (s *swarm) finish() error {
+	cfg, k, res := &s.cfg, s.k, s.res
 	window := float64(cfg.HorizonSeconds - cfg.MeasureStartSeconds)
-	spendVec := make([]float64, 0, n)
-	for i, id := range ids {
+	spendVec := make([]float64, 0, len(s.peers))
+	for i, id := range s.ids {
+		kp := k.Peers.At(int32(i))
+		if !kp.Alive {
+			continue
+		}
 		p := &s.peers[i]
 		res.SpendingRate[id] = float64(p.spent) / window
 		res.DownloadRate[id] = float64(p.bought) / window
@@ -498,27 +613,22 @@ func Run(cfg Config) (*Result, error) {
 		if total > 0 {
 			res.Continuity[id] = float64(p.played) / float64(total)
 		}
-		res.FinalWealth[id] = ledger.BalanceAt(p.acct)
+		res.FinalWealth[id] = k.Ledger.BalanceAt(kp.Acct)
 		spendVec = append(spendVec, res.SpendingRate[id])
 	}
-	if err := ledger.CheckConservation(); err != nil {
-		return nil, fmt.Errorf("streaming: %w", err)
+	if err := k.Finish(); err != nil {
+		return fmt.Errorf("streaming: %w", err)
 	}
 	var err error
 	res.GiniSpending, err = stats.Gini(spendVec)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if s.inc != nil {
-		// Every trade must have been mirrored into the sampler.
-		if s.inc.Count() != n || s.inc.Total() != ledger.Total() {
-			return nil, fmt.Errorf("streaming: incremental Gini sampler out of sync: %d peers/%d credits tracked, %d/%d actual",
-				s.inc.Count(), s.inc.Total(), n, ledger.Total())
-		}
+	g, ok := k.GiniNow()
+	if !ok {
+		return fmt.Errorf("%w: final wealth Gini undefined", ErrBadConfig)
 	}
-	res.GiniWealth, err = wealthGini()
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
+	res.GiniWealth = g
+	res.WealthGini = k.Metrics.Gini
+	return nil
 }

@@ -315,6 +315,75 @@ func AttachRandom(g *Graph, id, m int, r *xrand.RNG) error {
 	return attach(g, id, m, r, false)
 }
 
+// AttachFast joins node id with m edges in O(m) expected time, the
+// churn-attachment path for 100k+ overlays where AttachPreferential's and
+// AttachRandom's O(N) candidate scan per join dominates the simulation.
+// Uniform endpoints are drawn by slab rejection (Graph.RandomNode);
+// preferential endpoints take one extra hop to a uniform neighbor of a
+// uniform node, which biases the pick toward high-degree nodes — the
+// classic O(1) approximation of degree-proportional attachment (exact
+// degree-proportionality would need a global edge-endpoint array). Ids
+// already linked or equal to id are redrawn, with a scan fallback after
+// repeated collisions so dense or tiny graphs still terminate.
+func AttachFast(g *Graph, id, m int, preferential bool, r *xrand.RNG) error {
+	if err := g.AddNode(id); err != nil {
+		return err
+	}
+	if avail := g.NumNodes() - 1; m > avail {
+		m = avail
+	}
+	const retriesPerEdge = 32
+	for added := 0; added < m; added++ {
+		linked := false
+		for try := 0; try < retriesPerEdge; try++ {
+			v, ok := g.RandomNode(r)
+			if !ok {
+				return fmt.Errorf("attach %d: empty graph", id)
+			}
+			if preferential {
+				if d := g.Degree(v); d > 0 {
+					v = g.NeighborAt(v, r.Intn(d))
+				}
+			}
+			if v == id || g.HasEdge(id, v) {
+				continue
+			}
+			if err := g.AddEdge(id, v); err != nil {
+				return err
+			}
+			linked = true
+			break
+		}
+		if linked {
+			continue
+		}
+		// Collision storm (small or near-complete graph): link the first
+		// non-neighbor in id order, which always exists because m was
+		// clamped to the candidate count... unless every remaining node is
+		// already a neighbor through the fallback of a previous edge; then
+		// stop quietly like attach does when it runs out of candidates.
+		if !attachScanFallback(g, id) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// attachScanFallback links id to the smallest non-neighbor node, reporting
+// whether one existed.
+func attachScanFallback(g *Graph, id int) bool {
+	for _, v := range g.Nodes() {
+		if v == id || g.HasEdge(id, v) {
+			continue
+		}
+		if err := g.AddEdge(id, v); err != nil {
+			return false
+		}
+		return true
+	}
+	return false
+}
+
 func attach(g *Graph, id, m int, r *xrand.RNG, preferential bool) error {
 	candidates := make([]int, 0, g.NumNodes()-1)
 	weights := make([]float64, 0, g.NumNodes()-1)

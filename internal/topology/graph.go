@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"creditp2p/internal/xrand"
 )
 
 // ErrNodeExists is returned when adding a node whose id is already present.
@@ -264,6 +266,18 @@ func (g *Graph) AppendNeighbors(dst []int, id int) []int {
 	return dst
 }
 
+// NeighborsView returns the graph's internal ascending neighbor slice of
+// id (nil when absent) — the zero-copy variant of AppendNeighbors for hot
+// read paths. The slice is owned by the graph: callers must not modify it,
+// and any graph mutation invalidates it.
+func (g *Graph) NeighborsView(id int) []int32 {
+	slot := g.slotOf(id)
+	if slot < 0 {
+		return nil
+	}
+	return g.nodes[slot].nbrs
+}
+
 // Nodes returns all node ids in ascending order. It iterates the node slab
 // (bounded by the peak live population), not the id table — under churn,
 // NewNodeID hands out ever-fresh ids, so an id-table scan would grow with
@@ -277,6 +291,28 @@ func (g *Graph) Nodes() []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// RandomNode returns a uniformly random live node id, or ok=false for an
+// empty graph. It rejection-samples over the node slab, whose length is
+// bounded by the peak live population, so the expected cost is O(1) for
+// any graph that has not shrunk far below its peak.
+func (g *Graph) RandomNode(r *xrand.RNG) (int, bool) {
+	if g.n == 0 {
+		return 0, false
+	}
+	for {
+		s := r.Intn(len(g.nodes))
+		if g.nodes[s].id >= 0 {
+			return int(g.nodes[s].id), true
+		}
+	}
+}
+
+// NeighborAt returns the i-th smallest neighbor of id. It panics when i is
+// out of [0, Degree(id)) — callers pair it with Degree.
+func (g *Graph) NeighborAt(id, i int) int {
+	return int(g.nodes[g.slotOf(id)].nbrs[i])
 }
 
 // MeanDegree returns the average node degree (0 for an empty graph).

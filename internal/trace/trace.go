@@ -93,6 +93,48 @@ func (set *Set) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// ReadCSV parses the "series,time,value" format WriteCSV emits back into a
+// Set, grouping rows by series name in order of first appearance — the
+// inverse half of the CSV round-trip, for tooling that reloads recorded
+// series.
+func ReadCSV(r io.Reader) (*Set, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %w", err)
+	}
+	if header[0] != "series" || header[1] != "time" || header[2] != "value" {
+		return nil, fmt.Errorf("trace: unexpected csv header %v", header)
+	}
+	set := &Set{}
+	byName := map[string]*Series{}
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return set, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row: %w", err)
+		}
+		t, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: time %q: %w", rec[1], err)
+		}
+		v, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: value %q: %w", rec[2], err)
+		}
+		s, ok := byName[rec[0]]
+		if !ok {
+			s = NewSeries(rec[0])
+			byName[rec[0]] = s
+			set.Add(s)
+		}
+		s.Add(t, v)
+	}
+}
+
 // SortedSnapshot returns values sorted ascending — the paper's Figs. 5–6
 // plot these per-peer curves ("peer indices sorted in the order of queue
 // length").

@@ -62,6 +62,80 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestCSVRoundTrip pins the WriteCSV/ReadCSV pair: a multi-series set with
+// awkward float values must survive the trip bit-for-bit (the 'g'/-1
+// format is shortest-roundtrip), preserving series order and lengths.
+func TestCSVRoundTrip(t *testing.T) {
+	var set Set
+	a := NewSeries("gini")
+	a.Add(0, 0.1)
+	a.Add(0.30000000000000004, 1.0/3.0)
+	a.Add(1e9, 5e-324)
+	b := NewSeries("population")
+	b.Add(2.5, 1000)
+	b.Add(3.75, 999.5)
+	set.Add(a)
+	set.Add(b)
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(got.Series))
+	}
+	for i, want := range set.Series {
+		g := got.Series[i]
+		if g.Name != want.Name {
+			t.Fatalf("series %d name %q, want %q", i, g.Name, want.Name)
+		}
+		if g.Len() != want.Len() {
+			t.Fatalf("series %q length %d, want %d", g.Name, g.Len(), want.Len())
+		}
+		for j := range want.Times {
+			if g.Times[j] != want.Times[j] || g.Values[j] != want.Values[j] {
+				t.Fatalf("series %q sample %d = (%v, %v), want (%v, %v)",
+					g.Name, j, g.Times[j], g.Values[j], want.Times[j], want.Values[j])
+			}
+		}
+	}
+}
+
+// TestCSVRoundTripEmpty round-trips a set with no observations.
+func TestCSVRoundTripEmpty(t *testing.T) {
+	var set Set
+	var buf bytes.Buffer
+	if err := set.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Series) != 0 {
+		t.Fatalf("series = %d, want 0", len(got.Series))
+	}
+}
+
+// TestReadCSVRejectsGarbage pins the error paths: wrong header, malformed
+// numbers, wrong field counts.
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"bad-header":  "a,b,c\nx,1,2\n",
+		"bad-time":    "series,time,value\nx,notanumber,2\n",
+		"bad-value":   "series,time,value\nx,1,notanumber\n",
+		"bad-fields":  "series,time,value\nx,1\n",
+		"empty-input": "",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestSortedSnapshot(t *testing.T) {
 	in := []float64{3, 1, 2}
 	out := SortedSnapshot(in)
