@@ -8,6 +8,10 @@ package creditp2p
 
 import (
 	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"creditp2p/internal/core"
@@ -16,6 +20,44 @@ import (
 	"creditp2p/internal/topology"
 	"creditp2p/internal/xrand"
 )
+
+// peakRSSBytes reads the process's high-water resident set (VmHWM) from
+// /proc; 0 when unavailable (non-Linux).
+func peakRSSBytes() uint64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, err := strconv.ParseUint(fields[0], 10, 64)
+				if err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// heapBytesNow returns the bytes currently allocated on the heap without
+// forcing a collection: immediately after a simulation returns, steady-state
+// allocation is near zero, so this approximates the run's live footprint.
+func heapBytesNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// reportBytesPerPeer turns a before/after heap measurement into the
+// B/peer metric guarded by TestSimMemoryPerPeerCeilings.
+func reportBytesPerPeer(b *testing.B, before, after uint64, peers int) {
+	if after > before {
+		b.ReportMetric(float64(after-before)/float64(peers), "B/peer")
+	}
+}
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
@@ -210,6 +252,9 @@ func BenchmarkMarketSimLarge(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	runtime.GC()
+	heapBase := heapBytesNow()
+	var heapAfter uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	var events uint64
@@ -227,11 +272,13 @@ func BenchmarkMarketSimLarge(b *testing.B) {
 			b.Fatal(err)
 		}
 		events = res.SpendEvents
+		heapAfter = heapBytesNow()
 		b.ReportMetric(float64(res.SpendEvents), "events/run")
 	}
 	if events > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
 	}
+	reportBytesPerPeer(b, heapBase, heapAfter, 100_000)
 }
 
 func BenchmarkStreamingSimLarge(b *testing.B) {
@@ -240,6 +287,9 @@ func BenchmarkStreamingSimLarge(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	runtime.GC()
+	heapBase := heapBytesNow()
+	var heapAfter uint64
 	b.ReportAllocs()
 	b.ResetTimer()
 	var chunks uint64
@@ -260,9 +310,194 @@ func BenchmarkStreamingSimLarge(b *testing.B) {
 			b.Fatal(err)
 		}
 		chunks = res.ChunksTraded
+		heapAfter = heapBytesNow()
 		b.ReportMetric(float64(res.ChunksTraded), "chunks/run")
 	}
 	if chunks > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*chunks), "ns/chunk")
+	}
+	reportBytesPerPeer(b, heapBase, heapAfter, 100_000)
+}
+
+// The sampler-mode pairs pin the weighted-routing cost model at N=10k:
+// exact is the O(degree) scan (with an exp() per neighbor per draw for
+// availability routing), fast is the Fenwick index — O(log degree) per
+// draw, one exp() per spend. The two modes draw different sequences, so
+// events/run differs slightly; ns/event is the comparison.
+
+func benchWeightedMarket(b *testing.B, routing Routing, fast bool) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 10_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunMarket(MarketConfig{
+			Graph:           g,
+			InitialWealth:   20,
+			DefaultMu:       1,
+			Routing:         routing,
+			FastSampling:    fast,
+			Horizon:         20,
+			Queue:           QueueCalendar,
+			IncrementalGini: true,
+			Seed:            8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.SpendEvents
+		b.ReportMetric(float64(res.SpendEvents), "events/run")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+	}
+}
+
+func BenchmarkMarketDegreeExact(b *testing.B) { benchWeightedMarket(b, RouteDegreeWeighted, false) }
+func BenchmarkMarketDegreeFast(b *testing.B)  { benchWeightedMarket(b, RouteDegreeWeighted, true) }
+
+// The churn pair measures what the fast mode is for: under heavy turnover
+// the exact sampler dirty-marks whole neighborhoods per join/depart and
+// rebuilds them (lists and degree weights) on next spend, while the fast
+// index is patched in place.
+func benchDegreeChurnMarket(b *testing.B, fast bool) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 10_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		graph := g.Clone() // churn mutates the overlay
+		b.StartTimer()
+		res, err := RunMarket(MarketConfig{
+			Graph:           graph,
+			InitialWealth:   20,
+			DefaultMu:       1,
+			Routing:         RouteDegreeWeighted,
+			FastSampling:    fast,
+			Horizon:         20,
+			Queue:           QueueCalendar,
+			IncrementalGini: true,
+			Churn: &ChurnConfig{
+				ArrivalRate:  200,
+				MeanLifespan: 50,
+				AttachDegree: 4,
+				FastAttach:   true,
+			},
+			Seed: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.SpendEvents + res.Joins + res.Departures
+		b.ReportMetric(float64(events), "events/run")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+	}
+}
+
+func BenchmarkMarketDegreeChurnExact(b *testing.B) { benchDegreeChurnMarket(b, false) }
+func BenchmarkMarketDegreeChurnFast(b *testing.B)  { benchDegreeChurnMarket(b, true) }
+func BenchmarkMarketAvailabilityExact(b *testing.B) {
+	benchWeightedMarket(b, RouteAvailability, false)
+}
+func BenchmarkMarketAvailabilityFast(b *testing.B) {
+	benchWeightedMarket(b, RouteAvailability, true)
+}
+
+// The XLarge benchmarks run N=1,000,000 single-machine populations — the
+// memory-diet acceptance gate. BenchmarkMarketSimXLarge fails outright if
+// the process's peak RSS crosses 10 GB. Run with -benchtime=1x; excluded
+// from CI like the Large pair.
+
+func BenchmarkMarketSimXLarge(b *testing.B) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 1_000_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	heapBase := heapBytesNow()
+	var heapAfter uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunMarket(MarketConfig{
+			Graph:           g,
+			InitialWealth:   20,
+			DefaultMu:       1,
+			Horizon:         5,
+			Queue:           QueueCalendar,
+			IncrementalGini: true,
+			FastSampling:    true, // inert for RouteUniform; pins the xlarge engine config
+			Seed:            8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.SpendEvents
+		heapAfter = heapBytesNow()
+		b.ReportMetric(float64(res.SpendEvents), "events/run")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+	}
+	reportBytesPerPeer(b, heapBase, heapAfter, 1_000_000)
+	if rss := peakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss)/(1<<30), "peakRSS-GB")
+		if rss > 10<<30 {
+			b.Fatalf("peak RSS %.2f GB exceeds the 10 GB million-peer budget", float64(rss)/(1<<30))
+		}
+	}
+}
+
+func BenchmarkStreamingSimXLarge(b *testing.B) {
+	r := xrand.New(9)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 1_000_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	heapBase := heapBytesNow()
+	var heapAfter uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var chunks uint64
+	for i := 0; i < b.N; i++ {
+		res, err := RunStreaming(StreamingConfig{
+			Graph:           g,
+			StreamRate:      1,
+			DelaySeconds:    10,
+			UploadCap:       1,
+			DownloadCap:     2,
+			SourceSeeds:     300,
+			InitialWealth:   12,
+			HorizonSeconds:  16,
+			IncrementalGini: true,
+			Seed:            10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunks = res.ChunksTraded
+		heapAfter = heapBytesNow()
+		b.ReportMetric(float64(res.ChunksTraded), "chunks/run")
+	}
+	if chunks > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*chunks), "ns/chunk")
+	}
+	reportBytesPerPeer(b, heapBase, heapAfter, 1_000_000)
+	if rss := peakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss)/(1<<30), "peakRSS-GB")
 	}
 }

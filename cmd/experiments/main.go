@@ -47,7 +47,7 @@ func run(args []string) error {
 	all := fs.Bool("all", false, "run every experiment")
 	scenarios := fs.Bool("scenarios", false, "list available scenario presets")
 	scenarioName := fs.String("scenario", "", "scenario preset to run (see -scenarios)")
-	presetName := fs.String("preset", "quick", "quick, full or large")
+	presetName := fs.String("preset", "quick", "quick, full, large or xlarge")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file after the run")
 	if err := fs.Parse(args); err != nil {
@@ -60,8 +60,10 @@ func run(args []string) error {
 		preset = creditp2p.Full
 	case "large":
 		preset = creditp2p.Large
+	case "xlarge":
+		preset = creditp2p.XLarge
 	default:
-		return fmt.Errorf("unknown preset %q (want quick, full or large)", *presetName)
+		return fmt.Errorf("unknown preset %q (want quick, full, large or xlarge)", *presetName)
 	}
 
 	if *cpuProfile != "" {

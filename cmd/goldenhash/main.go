@@ -1,0 +1,183 @@
+// Command goldenhash fingerprints the simulators' outputs across a battery
+// of mechanism combinations. It exists for cross-commit byte-compatibility
+// checks during performance work: run it on two trees and diff the lines.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"creditp2p/internal/credit"
+	"creditp2p/internal/des"
+	"creditp2p/internal/market"
+	"creditp2p/internal/scenario"
+	"creditp2p/internal/streaming"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/trace"
+	"creditp2p/internal/xrand"
+)
+
+func f64(h interface{ Write([]byte) (int, error) }, v float64) {
+	var b [8]byte
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+func series(h interface{ Write([]byte) (int, error) }, s *trace.Series) {
+	if s == nil {
+		return
+	}
+	for i := range s.Values {
+		f64(h, s.Times[i])
+		f64(h, s.Values[i])
+	}
+}
+
+func hashMarket(res *market.Result) uint64 {
+	h := fnv.New64a()
+	f64(h, float64(res.SpendEvents))
+	f64(h, float64(res.Joins))
+	f64(h, float64(res.Departures))
+	f64(h, float64(res.TaxCollected))
+	f64(h, float64(res.TaxRedistributed))
+	f64(h, float64(res.Injected))
+	f64(h, res.FinalGini)
+	series(h, res.Gini)
+	series(h, res.Population)
+	series(h, res.Supply)
+	for _, sn := range res.Snapshots {
+		f64(h, sn.Time)
+		for _, v := range sn.Sorted {
+			f64(h, v)
+		}
+	}
+	ids := make([]int, 0, len(res.FinalWealth))
+	for id := range res.FinalWealth {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f64(h, float64(id))
+		f64(h, float64(res.FinalWealth[id]))
+		f64(h, res.SpendingRate[id])
+	}
+	return h.Sum64()
+}
+
+func hashStreaming(res *streaming.Result) uint64 {
+	h := fnv.New64a()
+	f64(h, float64(res.ChunksTraded))
+	f64(h, float64(res.ChunksSeeded))
+	f64(h, float64(res.Stalls))
+	f64(h, float64(res.Departures))
+	f64(h, res.GiniSpending)
+	f64(h, res.GiniWealth)
+	series(h, res.WealthGini)
+	ids := make([]int, 0, len(res.FinalWealth))
+	for id := range res.FinalWealth {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f64(h, float64(id))
+		f64(h, float64(res.FinalWealth[id]))
+		f64(h, res.SpendingRate[id])
+		f64(h, res.DownloadRate[id])
+		f64(h, res.Continuity[id])
+	}
+	return h.Sum64()
+}
+
+func marketGraph(n, d int, seed int64) *topology.Graph {
+	g, err := topology.RandomRegular(n, d, xrand.New(seed))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func scaleFree(n int, seed int64) *topology.Graph {
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: n, Alpha: 2.5, MeanDegree: 12}, xrand.New(seed))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func poisson() credit.Pricing {
+	p, err := credit.NewPoissonPricing(1.5, 0, xrand.New(9))
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func main() {
+	tax := func() *credit.TaxPolicy {
+		t, err := credit.NewTaxPolicy(0.25, 15)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	churn := &market.ChurnConfig{ArrivalRate: 0.5, MeanLifespan: 150, AttachDegree: 4, Preferential: true}
+	fastChurn := &market.ChurnConfig{ArrivalRate: 0.5, MeanLifespan: 150, AttachDegree: 4, FastAttach: true}
+	cases := []struct {
+		name string
+		cfg  market.Config
+	}{
+		{"baseline", market.Config{Graph: marketGraph(80, 8, 1), InitialWealth: 20, DefaultMu: 1, Horizon: 400, SnapshotTimes: []float64{100, 300}, Seed: 2}},
+		{"tax+inject", market.Config{Graph: marketGraph(80, 8, 3), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Tax: tax(), Inject: &market.InjectConfig{Amount: 2, Period: 60}, Seed: 4}},
+		{"churn", market.Config{Graph: marketGraph(80, 8, 5), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Churn: churn, Seed: 6}},
+		{"degree", market.Config{Graph: scaleFree(200, 7), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteDegreeWeighted, Seed: 8}},
+		{"degree+churn", market.Config{Graph: scaleFree(200, 9), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteDegreeWeighted, Churn: churn, Seed: 10}},
+		{"avail", market.Config{Graph: scaleFree(200, 11), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability, Seed: 12}},
+		{"avail+churn+tax", market.Config{Graph: scaleFree(200, 13), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability, Churn: churn, Tax: tax(), Seed: 14}},
+		{"freeriders", market.Config{Graph: scaleFree(200, 15), InitialWealth: 15, DefaultMu: 1, Horizon: 300, FreeRiderFrac: 0.25, Seed: 16}},
+		{"calendar+incgini", market.Config{Graph: scaleFree(400, 17), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Queue: des.Calendar, IncrementalGini: true, Churn: fastChurn, Seed: 18}},
+		{"dynamic", market.Config{Graph: marketGraph(80, 8, 19), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Spending: credit.DynamicSpending{M: 20}, Seed: 20}},
+	}
+	for _, c := range cases {
+		res, err := market.Run(c.cfg)
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		fmt.Printf("market/%-18s %016x\n", c.name, hashMarket(res))
+	}
+
+	scases := []struct {
+		name string
+		cfg  streaming.Config
+	}{
+		{"baseline", streaming.Config{Graph: marketGraph(60, 8, 21), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, Seed: 22}},
+		{"hetero+drain", streaming.Config{Graph: marketGraph(60, 8, 23), StreamRate: 2, DelaySeconds: 6, UploadCap: 1, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, UploadCapOf: map[int]int{1: 8, 2: 8}, Departures: []streaming.Departure{{ID: 1, AtSecond: 60}, {ID: 5, AtSecond: 90}}, Seed: 24}},
+		{"incgini", streaming.Config{Graph: scaleFree(200, 25), StreamRate: 1, DelaySeconds: 10, UploadCap: 1, DownloadCap: 2, SourceSeeds: 5, InitialWealth: 12, HorizonSeconds: 150, IncrementalGini: true, Seed: 26}},
+		{"poisson-pricing", streaming.Config{Graph: marketGraph(60, 8, 27), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 20, HorizonSeconds: 150, Pricing: poisson(), Seed: 28}},
+	}
+	for _, c := range scases {
+		res, err := streaming.Run(c.cfg)
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		fmt.Printf("streaming/%-15s %016x\n", c.name, hashStreaming(res))
+	}
+
+	for _, name := range []string{"flash-crowd", "free-rider-mix", "diurnal-churn", "seeder-drain"} {
+		out, err := scenario.RunNamed(name, scenario.ScaleQuick)
+		if err != nil {
+			panic(name + ": " + err.Error())
+		}
+		var sum uint64
+		if out.Market != nil {
+			sum = hashMarket(out.Market)
+		} else {
+			sum = hashStreaming(out.Streaming)
+		}
+		fmt.Printf("scenario/%-16s %016x\n", name, sum)
+	}
+}

@@ -57,6 +57,8 @@ type (
 
 	// MarketConfig configures the queue-granularity market simulator.
 	MarketConfig = market.Config
+	// Routing selects the market simulator's purchase-splitting policy.
+	Routing = market.Routing
 	// MarketResult is the market simulator output.
 	MarketResult = market.Result
 	// ChurnConfig enables open-network peer dynamics.
@@ -127,6 +129,9 @@ const (
 	// Large runs 100k-peer configurations on the scale engine
 	// (calendar-queue scheduler, incremental Gini sampling).
 	Large = experiments.Large
+	// XLarge runs million-peer configurations on the scale engine plus
+	// the fast-sampling routing mode (a few GB of RSS, minutes per run).
+	XLarge = experiments.XLarge
 )
 
 // Event-queue kinds for MarketConfig.Queue. Both deliver the identical
@@ -221,6 +226,8 @@ func scenarioScale(p Preset) (scenario.Scale, error) {
 		return scenario.ScaleFull, nil
 	case Large:
 		return scenario.ScaleLarge, nil
+	case XLarge:
+		return scenario.ScaleXLarge, nil
 	default:
 		return 0, fmt.Errorf("creditp2p: unknown preset %v", p)
 	}

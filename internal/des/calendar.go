@@ -1,6 +1,9 @@
 package des
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // calendarQueue is a bucketed timing wheel (a calendar queue in the sense
 // of Brown, CACM 1988) over the scheduler's (time, seq, slot) entries. For
@@ -8,23 +11,42 @@ import "math"
 // exponential inter-event gaps at an aggregate rate that changes slowly —
 // enqueue and dequeue are O(1) amortized, versus O(log n) for the heap.
 //
-// Events hash into buckets[floor(time/width) & mask]. Dequeue scans from
-// the current calendar day forward; within the qualifying window the
-// minimum is chosen by exactly the heap's (time, seq) order, so a
-// simulation run on a calendar scheduler delivers the byte-identical event
-// sequence (Scheduler tests assert this). Bucket membership is computed
-// once per entry as an integer day number, never re-derived from float
-// arithmetic, so window qualification cannot drift across laps.
+// Storage is allocation-free in steady state: entries live in per-slot
+// parallel arrays that grow in lockstep with the scheduler's slab, and each
+// bucket is a singly-linked chain threaded through the next array, so a
+// push is three array writes and never allocates. (The previous
+// slice-of-slices layout re-allocated every bucket after each retune —
+// ~0.2 allocations per event at 100k peers.)
+//
+// Dequeue drains whole calendar days at a time: the first non-empty day's
+// entries are unlinked into a reusable buffer, sorted once by (time, seq),
+// and served by cursor, amortizing the bucket walk and min-scan across the
+// day's whole batch. A rare push landing inside the day being drained is
+// spliced into the buffer at its sorted position, so the delivered order is
+// exactly the heap's (time, seq) order and simulation results are
+// byte-identical across queue kinds (Scheduler tests assert this). Bucket
+// membership is computed once per entry as an integer day number, never
+// re-derived from float arithmetic, so window qualification cannot drift
+// across laps.
 //
 // When the queue's density leaves the sweet spot the wheel is rebuilt:
-// capacity doubles (or halves) and the width is re-estimated as the mean
-// gap between pending events. A full empty lap (possible when a few events
-// sit far in the future) falls back to a direct scan for the global
-// minimum and jumps the calendar to it.
+// capacity doubles (or halves) and the width is re-estimated from the
+// pending span. A full empty lap (possible when a few events sit far in the
+// future) falls back to a direct scan for the earliest day and jumps the
+// calendar to it.
 type calendarQueue struct {
-	buckets [][]calEntry
-	mask    int64
-	width   float64
+	// Per-slot entry storage, parallel to the scheduler slab (index is
+	// slot-1). next threads each bucket's chain; -1 terminates.
+	times []float64
+	seqs  []uint64
+	days  []int64
+	next  []int32
+
+	// heads holds each bucket's chain head slot (0 marks an empty bucket;
+	// slots are 1-based).
+	heads []int32
+	mask  int64
+	width float64
 	// invWidth caches 1/width for the day computation: multiplication is
 	// monotone in t just like division, and every day number (push and
 	// rebuild alike) flows through the same dayOf, so bucket membership
@@ -32,22 +54,25 @@ type calendarQueue struct {
 	invWidth float64
 	count    int
 	// curDay is the absolute day number (floor(time/width), unmasked) the
-	// dequeue scan resumes from. All pending entries have day >= curDay.
+	// dequeue scan resumes from. All pending entries have day >= curDay,
+	// except those already pulled into the drain buffer.
 	curDay int64
-	// cached position of the minimum located by the last peek; removeHead
-	// consumes it in O(1). Any push or rebuild invalidates it.
-	cached       bool
-	cachedBucket int64
-	cachedIndex  int
-	cachedTime   float64
-	cachedSeq    uint64
+
+	// drain is the batched front: every pending entry with day <= drainDay,
+	// ascending by (time, seq); pos is the serve cursor. While the drain is
+	// active (pos < len(drain)), curDay == drainDay and every chained entry
+	// has day > drainDay.
+	drain    []calEntry
+	pos      int
+	drainDay int64
+	// scratch is the reusable retune gather buffer.
+	scratch []calEntry
 }
 
-// calEntry is a pending event plus its precomputed absolute day number.
+// calEntry is one drained pending event.
 type calEntry struct {
 	time float64
 	seq  uint64
-	day  int64
 	slot int32
 }
 
@@ -61,22 +86,23 @@ func (a calEntry) beforeEntry(bTime float64, bSeq uint64) bool {
 const (
 	calMinBuckets = 16
 	// The wheel is retuned toward calTargetOccupancy entries per bucket; a
-	// push past calGrowOccupancy or a removal below 1/4 triggers it. An
-	// occupancy near one keeps the dequeue min-scan to a couple of entries
-	// — measured faster at 100k+ pending than fatter buckets, whose longer
-	// day-qualification scans cost more than the saved bucket headers.
-	calTargetOccupancy = 1
-	calGrowOccupancy   = 2
+	// push past calGrowOccupancy or a removal below 1/4 triggers it. With
+	// batched day draining, a handful of entries per day amortizes the
+	// bucket walk and the one sort across the whole batch; occupancies much
+	// past that lengthen the splice search for pushes landing in the day
+	// being drained.
+	calTargetOccupancy = 4
+	calGrowOccupancy   = 8
 	// calMaxDay clamps day numbers for events absurdly far in the future
 	// (e.g. time/width overflowing int64). Clamping preserves the
 	// monotonicity of time -> day, which is all correctness needs; such
-	// events are simply found by the direct-scan fallback.
+	// events are simply found by the earliest-day fallback scan.
 	calMaxDay = math.MaxInt64 / 4
 )
 
 func newCalendarQueue() *calendarQueue {
 	return &calendarQueue{
-		buckets:  make([][]calEntry, calMinBuckets),
+		heads:    make([]int32, calMinBuckets),
 		mask:     calMinBuckets - 1,
 		width:    1,
 		invWidth: 1,
@@ -92,114 +118,192 @@ func (q *calendarQueue) dayOf(t float64) int64 {
 	return int64(d)
 }
 
+// draining reports whether the day batch still holds unserved entries.
+func (q *calendarQueue) draining() bool { return q.pos < len(q.drain) }
+
 // push inserts an entry.
 func (q *calendarQueue) push(t float64, seq uint64, slot int32) {
+	i := int(slot) - 1
+	if i >= len(q.times) {
+		// Slots are handed out by the scheduler slab in order, so this
+		// appends in lockstep (amortized, no per-push allocation).
+		q.times = append(q.times, 0)
+		q.seqs = append(q.seqs, 0)
+		q.days = append(q.days, 0)
+		q.next = append(q.next, 0)
+	}
 	day := q.dayOf(t)
+	if q.draining() && day <= q.drainDay {
+		// The entry belongs to the day currently being served: splice it
+		// into the batch at its sorted position. Rare — a day is a sliver
+		// of the pending span — so the memmove amortizes to nothing.
+		lo, hi := q.pos, len(q.drain)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if q.drain[mid].beforeEntry(t, seq) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		q.drain = append(q.drain, calEntry{})
+		copy(q.drain[lo+1:], q.drain[lo:])
+		q.drain[lo] = calEntry{time: t, seq: seq, slot: slot}
+		q.count++
+		return
+	}
+	q.times[i] = t
+	q.seqs[i] = seq
+	q.days[i] = day
 	b := day & q.mask
-	q.buckets[b] = append(q.buckets[b], calEntry{time: t, seq: seq, day: day, slot: slot})
+	q.next[i] = q.heads[b]
+	q.heads[b] = slot
 	q.count++
 	if day < q.curDay {
 		// Scheduled behind the calendar's scan position (the scan had
 		// advanced toward a far-future minimum): rewind to it.
 		q.curDay = day
-		q.cached = false
-	} else if q.cached && (t < q.cachedTime || (t == q.cachedTime && seq < q.cachedSeq)) {
-		q.cached = false
 	}
-	if q.count > calGrowOccupancy*len(q.buckets) {
+	if q.count > calGrowOccupancy*len(q.heads) {
 		q.retune()
 	}
 }
 
-// peek locates the minimum (time, seq) entry without removing it. The
-// position is cached for removeHead.
+// peek locates the minimum (time, seq) entry without removing it, batching
+// its whole calendar day into the drain buffer on the way.
 func (q *calendarQueue) peek() (heapEntry, bool) {
-	if q.cached {
-		e := q.buckets[q.cachedBucket][q.cachedIndex]
+	if q.draining() {
+		e := q.drain[q.pos]
 		return heapEntry{time: e.time, seq: e.seq, slot: e.slot}, true
 	}
 	if q.count == 0 {
 		return heapEntry{}, false
 	}
-	// Scan one full lap of the wheel from the current day forward. Entries
-	// qualify once their day is reached; qualifying entries of the first
-	// non-empty window are compared by (time, seq).
-	nb := int64(len(q.buckets))
+	// Scan one lap of the wheel from the current day forward and drain the
+	// first day that owns entries. Chains mix laps, so each is filtered by
+	// the exact day number.
+	nb := int64(len(q.heads))
 	for i := int64(0); i < nb; i++ {
 		day := q.curDay + i
-		bucket := q.buckets[day&q.mask]
-		best := -1
-		for j := range bucket {
-			if bucket[j].day > day {
-				continue // a later lap's entry sharing the bucket
-			}
-			if best < 0 || bucket[j].beforeEntry(bucket[best].time, bucket[best].seq) {
-				best = j
-			}
-		}
-		if best >= 0 {
-			q.curDay = day
-			q.setCache(day&q.mask, best)
-			return heapEntry{time: bucket[best].time, seq: bucket[best].seq, slot: bucket[best].slot}, true
+		if q.drainDayInto(day) {
+			return q.peekDrained()
 		}
 	}
-	// Sparse queue: nothing within a lap. Directly scan every entry for the
-	// global minimum and jump the calendar to its day.
-	var minB int64 = -1
-	var minJ int
-	for b := range q.buckets {
-		for j := range q.buckets[b] {
-			e := q.buckets[b][j]
-			if minB < 0 || e.beforeEntry(q.buckets[minB][minJ].time, q.buckets[minB][minJ].seq) {
-				minB, minJ = int64(b), j
+	// Sparse queue: nothing within a lap. Directly scan every chained entry
+	// for the earliest day and jump the calendar to it.
+	minDay := int64(calMaxDay)
+	for _, s := range q.heads {
+		for s != 0 {
+			i := s - 1
+			if q.days[i] < minDay {
+				minDay = q.days[i]
 			}
+			s = q.next[i]
 		}
 	}
-	e := q.buckets[minB][minJ]
-	q.curDay = e.day
-	q.setCache(minB, minJ)
+	if !q.drainDayInto(minDay) {
+		return heapEntry{}, false // unreachable while count > 0
+	}
+	return q.peekDrained()
+}
+
+func (q *calendarQueue) peekDrained() (heapEntry, bool) {
+	e := q.drain[q.pos]
 	return heapEntry{time: e.time, seq: e.seq, slot: e.slot}, true
 }
 
-func (q *calendarQueue) setCache(bucket int64, index int) {
-	e := q.buckets[bucket][index]
-	q.cached = true
-	q.cachedBucket = bucket
-	q.cachedIndex = index
-	q.cachedTime = e.time
-	q.cachedSeq = e.seq
+// drainDayInto unlinks every entry of the given absolute day into the drain
+// buffer, sorted by (time, seq), and reports whether any were found.
+func (q *calendarQueue) drainDayInto(day int64) bool {
+	q.drain = q.drain[:0]
+	q.pos = 0
+	prev := int32(0) // 0 means "the bucket head"
+	b := day & q.mask
+	for s := q.heads[b]; s != 0; {
+		i := s - 1
+		nxt := q.next[i]
+		if q.days[i] == day {
+			q.drain = append(q.drain, calEntry{time: q.times[i], seq: q.seqs[i], slot: s})
+			if prev == 0 {
+				q.heads[b] = nxt
+			} else {
+				q.next[prev-1] = nxt
+			}
+		} else {
+			prev = s
+		}
+		s = nxt
+	}
+	if len(q.drain) == 0 {
+		return false
+	}
+	q.sortDrain()
+	q.curDay = day
+	q.drainDay = day
+	return true
+}
+
+// sortDrain orders the batch ascending by (time, seq). Day batches are a
+// handful of entries at the target occupancy, so a binary-insertion sort
+// beats the general sorter; big batches (coarse widths, heavy ties) fall
+// back to it.
+func (q *calendarQueue) sortDrain() {
+	d := q.drain
+	if len(d) > 32 {
+		slices.SortFunc(d, func(a, b calEntry) int {
+			if a.beforeEntry(b.time, b.seq) {
+				return -1
+			}
+			return 1
+		})
+		return
+	}
+	for i := 1; i < len(d); i++ {
+		e := d[i]
+		j := i
+		for j > 0 && e.beforeEntry(d[j-1].time, d[j-1].seq) {
+			d[j] = d[j-1]
+			j--
+		}
+		d[j] = e
+	}
 }
 
 // removeHead deletes the entry located by the immediately preceding peek.
 func (q *calendarQueue) removeHead() {
-	if !q.cached {
+	if !q.draining() {
 		if _, ok := q.peek(); !ok {
 			return
 		}
 	}
-	bucket := q.buckets[q.cachedBucket]
-	last := len(bucket) - 1
-	bucket[q.cachedIndex] = bucket[last]
-	q.buckets[q.cachedBucket] = bucket[:last]
+	q.pos++
 	q.count--
-	q.cached = false
-	if 4*q.count < len(q.buckets) && len(q.buckets) > calMinBuckets {
+	if 4*q.count < len(q.heads) && len(q.heads) > calMinBuckets {
 		q.retune()
 	}
 }
 
 // retune rebuilds the wheel at the target occupancy with a width
-// re-estimated from the pending events' mean gap (one lap of the wheel
-// covers roughly the full pending span), redistributing every entry.
+// re-estimated from the pending events' span (one lap of the wheel covers
+// roughly the full pending window), redistributing every entry — the drain
+// remainder included, since the new width redraws day boundaries.
 // Amortized over the pushes/pops that triggered it, this is O(1).
 func (q *calendarQueue) retune() {
-	buckets := calMinBuckets
-	for calTargetOccupancy*buckets < q.count {
-		buckets *= 2
+	all := q.scratch[:0]
+	for _, s := range q.heads {
+		for s != 0 {
+			i := s - 1
+			all = append(all, calEntry{time: q.times[i], seq: q.seqs[i], slot: s})
+			s = q.next[i]
+		}
 	}
-	all := make([]calEntry, 0, q.count)
-	for _, b := range q.buckets {
-		all = append(all, b...)
+	all = append(all, q.drain[q.pos:]...)
+	q.drain = q.drain[:0]
+	q.pos = 0
+
+	buckets := calMinBuckets
+	for calTargetOccupancy*buckets < len(all) {
+		buckets *= 2
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, e := range all {
@@ -222,20 +326,27 @@ func (q *calendarQueue) retune() {
 	if !(q.invWidth > 0) || math.IsInf(q.invWidth, 1) {
 		q.width, q.invWidth = 1, 1
 	}
-	q.buckets = make([][]calEntry, buckets)
+	if buckets == len(q.heads) {
+		clear(q.heads)
+	} else {
+		q.heads = make([]int32, buckets)
+	}
 	q.mask = int64(buckets - 1)
-	q.cached = false
 	minDay := int64(calMaxDay)
 	for _, e := range all {
-		e.day = q.dayOf(e.time)
-		if e.day < minDay {
-			minDay = e.day
+		i := e.slot - 1
+		day := q.dayOf(e.time)
+		q.days[i] = day
+		if day < minDay {
+			minDay = day
 		}
-		b := e.day & q.mask
-		q.buckets[b] = append(q.buckets[b], e)
+		b := day & q.mask
+		q.next[i] = q.heads[b]
+		q.heads[b] = e.slot
 	}
 	if len(all) == 0 {
 		minDay = 0
 	}
 	q.curDay = minDay
+	q.scratch = all[:0]
 }

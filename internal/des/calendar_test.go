@@ -130,12 +130,12 @@ func TestCalendarShrinksAfterDrain(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	grown := len(s.cal.buckets)
+	grown := len(s.cal.heads)
 	if grown <= calMinBuckets {
 		t.Fatalf("wheel did not grow: %d buckets for 4096 events", grown)
 	}
 	s.Drain(func(Event) {})
-	if got := len(s.cal.buckets); got != calMinBuckets {
+	if got := len(s.cal.heads); got != calMinBuckets {
 		t.Errorf("wheel kept %d buckets after drain, want %d", got, calMinBuckets)
 	}
 	if s.Pending() != 0 {

@@ -32,6 +32,10 @@ const (
 	// construction. It exists to exercise production-scale populations;
 	// expect tens of seconds per figure point.
 	Large
+	// XLarge runs a million-peer configuration on the scale engine plus
+	// the fast-sampling routing mode — the full memory-diet regime. Expect
+	// a few GB of RSS and minutes per figure.
+	XLarge
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +47,8 @@ func (p Preset) String() string {
 		return "full"
 	case Large:
 		return "large"
+	case XLarge:
+		return "xlarge"
 	default:
 		return fmt.Sprintf("preset(%d)", int(p))
 	}

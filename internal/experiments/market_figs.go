@@ -141,6 +141,11 @@ func scaleOf(p Preset) marketScale {
 			n: 100_000, degree: 20, horizon: 400, sample: 10, tailK: 10,
 			queue: des.Calendar, incGini: true, uniformIncomeMu: true,
 		}
+	case XLarge:
+		return marketScale{
+			n: 1_000_000, degree: 20, horizon: 40, sample: 2, tailK: 5,
+			queue: des.Calendar, incGini: true, uniformIncomeMu: true,
+		}
 	default:
 		return marketScale{n: 120, degree: 12, horizon: 4000, sample: 100, tailK: 10}
 	}

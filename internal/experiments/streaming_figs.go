@@ -41,6 +41,8 @@ func fig1ScaleOf(p Preset) fig1Scale {
 		return fig1Scale{n: 500, horizon: 20000}
 	case Large:
 		return fig1Scale{n: 100_000, horizon: 400, incGini: true}
+	case XLarge:
+		return fig1Scale{n: 1_000_000, horizon: 60, incGini: true}
 	default:
 		return fig1Scale{n: 200, horizon: 1500}
 	}

@@ -277,7 +277,7 @@ func TestSpendRereadsBalanceAfterRedistribution(t *testing.T) {
 	if got := s.k.Balance(0); got != 1 {
 		t.Fatalf("peer 0 balance = %d after redistribution, want 1", got)
 	}
-	if s.ws[0].idle {
+	if s.ws[0].flags&pfIdle != 0 {
 		t.Fatal("peer 0 stranded idle with a positive balance (stale-balance bug)")
 	}
 	if s.k.Sched.Cancelled(s.ws[0].pending) {

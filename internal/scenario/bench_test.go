@@ -62,12 +62,12 @@ func BenchmarkScenarioFreeRiderMixLarge(b *testing.B) {
 	benchMarketScenario(b, "free-rider-mix", ScaleLarge)
 }
 
-func BenchmarkScenarioSeederDrainLarge(b *testing.B) {
-	sc, err := Get("seeder-drain")
+func benchStreamingScenario(b *testing.B, name string, scale Scale) {
+	sc, err := Get(name)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg, err := sc.StreamingConfig(ScaleLarge)
+	cfg, err := sc.StreamingConfig(scale)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -85,4 +85,27 @@ func BenchmarkScenarioSeederDrainLarge(b *testing.B) {
 	if chunks > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*chunks), "ns/chunk")
 	}
+}
+
+func BenchmarkScenarioSeederDrainLarge(b *testing.B) {
+	benchStreamingScenario(b, "seeder-drain", ScaleLarge)
+}
+
+// The XLarge variants compile each preset at a million peers (the calendar
+// scheduler, incremental Gini and fast-sampling engine). Run them with
+// -benchtime=1x; like the Large pair they are excluded from CI.
+func BenchmarkScenarioFlashCrowdXLarge(b *testing.B) {
+	benchMarketScenario(b, "flash-crowd", ScaleXLarge)
+}
+
+func BenchmarkScenarioDiurnalChurnXLarge(b *testing.B) {
+	benchMarketScenario(b, "diurnal-churn", ScaleXLarge)
+}
+
+func BenchmarkScenarioFreeRiderMixXLarge(b *testing.B) {
+	benchMarketScenario(b, "free-rider-mix", ScaleXLarge)
+}
+
+func BenchmarkScenarioSeederDrainXLarge(b *testing.B) {
+	benchStreamingScenario(b, "seeder-drain", ScaleXLarge)
 }

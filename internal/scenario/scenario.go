@@ -48,6 +48,10 @@ const (
 	// ScaleLarge rescales to a 100k-peer population on the scale engine
 	// (calendar-queue scheduler, incremental Gini sampling).
 	ScaleLarge
+	// ScaleXLarge rescales to a million-peer population on the scale
+	// engine plus the Fenwick fast-sampling routing mode. Expect a few GB
+	// of RSS and tens of seconds per run.
+	ScaleXLarge
 )
 
 // String implements fmt.Stringer.
@@ -59,13 +63,19 @@ func (s Scale) String() string {
 		return "full"
 	case ScaleLarge:
 		return "large"
+	case ScaleXLarge:
+		return "xlarge"
 	default:
 		return fmt.Sprintf("scale(%d)", int(s))
 	}
 }
 
-// largeN is the population of every ScaleLarge instance.
-const largeN = 100_000
+// largeN and xlargeN are the populations of the ScaleLarge and ScaleXLarge
+// instances.
+const (
+	largeN  = 100_000
+	xlargeN = 1_000_000
+)
 
 // TopoKind selects the overlay generator.
 type TopoKind int
@@ -198,6 +208,10 @@ type Scenario struct {
 	// LargeHorizon overrides the duration at ScaleLarge (0 picks a
 	// workload-appropriate default: 20s market, 40s streaming).
 	LargeHorizon float64
+	// XLargeHorizon overrides the duration at ScaleXLarge (0 picks a
+	// workload-appropriate default: 8s market, 16s streaming — the
+	// million-peer instances are event-rate bound).
+	XLargeHorizon float64
 	// Seed drives topology generation and the simulation.
 	Seed int64
 }
@@ -211,9 +225,10 @@ type dims struct {
 	ratio float64
 	// popFactor is n/sc.Topology.N — population-linear declared
 	// quantities (arrival rates, source seeds) scale by it.
-	popFactor float64
-	queue     des.QueueKind
-	incGini   bool
+	popFactor    float64
+	queue        des.QueueKind
+	incGini      bool
+	fastSampling bool
 }
 
 func (sc *Scenario) dims(scale Scale) (dims, error) {
@@ -244,6 +259,19 @@ func (sc *Scenario) dims(scale Scale) (dims, error) {
 		}
 		d.queue = des.Calendar
 		d.incGini = true
+	case ScaleXLarge:
+		d.n = xlargeN
+		d.horizon = sc.XLargeHorizon
+		if d.horizon <= 0 {
+			if sc.Workload == WorkloadStreaming {
+				d.horizon = 16
+			} else {
+				d.horizon = 8
+			}
+		}
+		d.queue = des.Calendar
+		d.incGini = true
+		d.fastSampling = true
 	default:
 		return dims{}, fmt.Errorf("%w: scale %d", ErrBadScenario, int(scale))
 	}
@@ -347,6 +375,7 @@ func (sc Scenario) MarketConfig(scale Scale) (market.Config, error) {
 		InitialWealth:   sc.Credit.InitialWealth,
 		DefaultMu:       sc.Market.DefaultMu,
 		Routing:         sc.Market.Routing,
+		FastSampling:    d.fastSampling,
 		FreeRiderFrac:   sc.Market.FreeRiderFrac,
 		Horizon:         d.horizon,
 		Queue:           d.queue,

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"creditp2p/internal/des"
 )
 
 // fingerprint reduces an outcome to a hash of every number it carries, so
@@ -284,5 +286,42 @@ func TestScalesCompile(t *testing.T) {
 				t.Errorf("%s at %s: %v", sc.Name, scale, err)
 			}
 		}
+	}
+}
+
+// TestXLargeDims pins the million-peer scale's compiled dimensions without
+// paying for a 1M-node topology: population, scale-engine knobs (calendar
+// queue, incremental Gini, fast sampling) and the default horizons.
+func TestXLargeDims(t *testing.T) {
+	if ScaleXLarge.String() != "xlarge" {
+		t.Errorf("ScaleXLarge.String() = %q", ScaleXLarge.String())
+	}
+	market, err := Get("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := market.dims(ScaleXLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.n != 1_000_000 {
+		t.Errorf("market xlarge population = %d, want 1_000_000", d.n)
+	}
+	if d.horizon != 8 {
+		t.Errorf("market xlarge horizon = %v, want 8", d.horizon)
+	}
+	if !d.incGini || !d.fastSampling || d.queue != des.Calendar {
+		t.Errorf("xlarge scale engine not selected: %+v", d)
+	}
+	stream, err := Get("seeder-drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := stream.dims(ScaleXLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.n != 1_000_000 || ds.horizon != 16 {
+		t.Errorf("streaming xlarge dims = n %d horizon %v, want 1_000_000 / 16", ds.n, ds.horizon)
 	}
 }

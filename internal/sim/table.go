@@ -18,10 +18,13 @@ type PeerTable struct {
 }
 
 // Peer is the kernel-owned part of one dense peer record. Workload-specific
-// state lives in the workload's own slice, parallel to this slab.
+// state lives in the workload's own slice, parallel to this slab. The record
+// is 16 bytes — ids are int32 like everywhere else in the scale engine — so
+// four peers share a cache line and a million-peer table costs 16 MB.
 type Peer struct {
-	// ID is the external overlay id the index was interned from.
-	ID int
+	// ID is the external overlay id the index was interned from. Overlay
+	// ids fit in 31 bits by topology.Graph's contract.
+	ID int32
 	// Acct is the peer's dense ledger slot.
 	Acct int32
 	// Gen is bumped when the peer departs; in-flight events and Refs
@@ -95,7 +98,7 @@ func (t *PeerTable) Intern(id int, acct int32) int32 {
 		px = int32(len(t.peers) - 1)
 	}
 	p := &t.peers[px]
-	p.ID = id
+	p.ID = int32(id)
 	p.Acct = acct
 	p.Alive = true
 	t.setIdx(id, px)

@@ -86,7 +86,7 @@ func TestPeerTableIdxGrowth(t *testing.T) {
 	}
 	for _, id := range ids {
 		px := tab.PxOf(id)
-		if px < 0 || tab.At(px).ID != id {
+		if px < 0 || int(tab.At(px).ID) != id {
 			t.Fatalf("lost peer %d (px %d)", id, px)
 		}
 	}

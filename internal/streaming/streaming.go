@@ -14,9 +14,13 @@
 // shared kernel (internal/sim) owns the dense peer table, the ledger
 // binding, the metrics pipeline and peer teardown — planned Departures
 // model a seeder drain, with the departing peer's credits burned and its
-// chunks gone. Peer state stays flat: balances live in dense ledger slots
-// and each peer's buffer map is a ring over the playback window, so the
-// per-round trading pass runs without map lookups or allocations.
+// chunks gone. Peer state is on a strict memory diet for million-peer
+// swarms: the per-peer record is one 64-byte struct (liveness, ledger slot
+// and flat price mirrored from the kernel so the trading pass touches a
+// single cache line per peer), chunk windows and buffer-map sample lists
+// are int32 segments of two shared slabs addressed by computed offsets (no
+// per-peer slice headers), and the per-round trading pass runs without map
+// lookups or allocations.
 package streaming
 
 import (
@@ -114,6 +118,12 @@ func (c *Config) validate() error {
 	if c.HorizonSeconds < c.DelaySeconds+2 {
 		return fmt.Errorf("%w: horizon %d too short", ErrBadConfig, c.HorizonSeconds)
 	}
+	// Chunk ids live in int32 window rings; a run emits at most
+	// (HorizonSeconds+1)*StreamRate ids (plus the pre-roll below zero).
+	if int64(c.HorizonSeconds+c.DelaySeconds+2)*int64(c.StreamRate) > math.MaxInt32/2 {
+		return fmt.Errorf("%w: %d chunks overflow the int32 chunk-id space",
+			ErrBadConfig, c.HorizonSeconds*c.StreamRate)
+	}
 	if c.Pricing == nil {
 		c.Pricing = credit.UniformPricing{Credits: 1}
 	}
@@ -167,28 +177,37 @@ type Result struct {
 }
 
 // speer is the streaming workload's per-peer record, parallel to the
-// kernel's dense peer slab. Chunk possession is a ring bitmap over the
-// playback window plus a sample list for buffer-map probes.
+// kernel's dense peer slab: exactly the hot trading state, 64 bytes, so a
+// buyer's probe of a seller touches one line of per-peer state plus the
+// sampled list/ring entries. Liveness, the ledger slot and the flat price
+// quote are mirrored from the kernel (updated at join/teardown), and the
+// window ring and buffer-map sample list are slab segments addressed by
+// the peer index — no per-peer slice headers, no per-peer allocations.
 type speer struct {
-	upCap    int32
-	upUsed   int32
+	// spent counts credits spent inside the measurement window.
+	spent int64
+	// price is the seller's flat per-chunk quote (flatPrice mode only).
+	price int64
+	// acct mirrors the kernel peer's dense ledger slot.
+	acct   int32
+	upCap  int32
+	upUsed int32
+	// downUsed is the download capacity consumed this round.
 	downUsed int32
-	nbrs     []int32 // neighbor peer indices
-	// have is the window ring: have[ringIdx(chunk)] holds the id of the
-	// possessed chunk occupying that slot, or noChunk. Chunks live at most
-	// (DelaySeconds+1)*StreamRate ids before eviction, so live chunks map
-	// to distinct slots; storing the id keeps possession checks exact even
-	// for stale haveList entries whose slot a newer chunk has taken over.
-	have []int
-	// haveCount is the number of chunks currently held.
-	haveCount int
-	// haveList mirrors the ring for deterministic random sampling
-	// (buffer-map probes); evicted entries are pruned lazily.
-	haveList []int
-	spent    int64 // credits spent inside the measurement window
-	bought   int   // chunks bought inside the window
-	played   int
-	missed   int
+	// nbrOff/nbrLen address the peer's neighbor segment of the shared
+	// neighbor slab (the overlay is static for the swarm's lifetime).
+	nbrOff uint32
+	nbrLen uint32
+	// listLen is the live length of the peer's haveList slab segment.
+	listLen int32
+	// haveCount is the number of chunks currently held in the window.
+	haveCount int32
+	// bought/played/missed are measurement-window counters.
+	bought int32
+	played int32
+	missed int32
+	// alive mirrors the kernel's liveness bit (false after teardown).
+	alive bool
 }
 
 // swarm carries the flat state shared by the round phases.
@@ -203,14 +222,41 @@ type swarm struct {
 	ringLen  int
 	ringMask int
 	ringOff  int // added to chunk ids so pre-roll chunks index >= 0
-	// price quotes, pre-resolved per seller when the scheme allows it.
-	sellerPrice []int64
-	pricing     credit.Pricing // nil when sellerPrice is active
-	// rings/lists are the shared slabs OnJoin carves per-peer segments
-	// from; listCap is the per-peer haveList capacity.
-	rings   []int
-	lists   []int
+	// rings is the shared window-ring slab: peer px owns
+	// rings[px*ringLen : (px+1)*ringLen]. rings[slot] holds the id of the
+	// possessed chunk occupying the slot, or noChunk. Chunks live at most
+	// (DelaySeconds+1)*StreamRate ids before eviction, so live chunks map
+	// to distinct slots; storing the id keeps possession checks exact even
+	// for stale haveList entries whose slot a newer chunk has taken over.
+	rings []int32
+	// lists is the shared haveList slab (listCap per peer): the ring's
+	// mirror for deterministic random sampling (buffer-map probes);
+	// evicted entries are pruned lazily.
+	lists   []int32
 	listCap int
+	// fresh mirrors the last freshLen entries of every peer's haveList
+	// (fresh[px*freshLen + idx&freshMask] == lists[base+idx] for idx in
+	// the list's tail). Fresh-tail probes — the hottest reads of the
+	// trading pass — hit this dense, cache-resident slab instead of a
+	// random line of the full list slab. Values are identical either way,
+	// so the mirror cannot change results.
+	fresh []int32
+	// useFresh is true when the probe span fits the mirror
+	// (4*StreamRate <= freshLen).
+	useFresh bool
+	// empty, busy and full are per-peer skip bitsets, small enough to stay
+	// cache-resident, mirroring exactly the per-seller skip conditions of
+	// the trading pass (listLen == 0, upUsed > 0, upUsed >= upCap) so a
+	// skipped seller costs a bit test instead of a 64-byte record load.
+	// dead mirrors torn-down peers (upCap == 0): the round reset seeds
+	// full from it.
+	empty, busy, full, dead []uint64
+	// nbrSlab backs every peer's resolved neighbor indices.
+	nbrSlab []int32
+	// flatPrice marks per-seller flat quotes resolved into speer.price;
+	// price-per-chunk schemes keep the Pricing interface.
+	flatPrice bool
+	pricing   credit.Pricing
 	// departAt maps a round to the peers torn down at its start, in
 	// Config.Departures order.
 	departAt map[int][]int32
@@ -221,51 +267,102 @@ type swarm struct {
 var _ sim.Workload = (*swarm)(nil)
 
 // noChunk marks an empty ring slot; valid chunk ids (>= -DelaySeconds *
-// StreamRate) are always greater. math.MinInt stays representable on
-// 32-bit platforms.
-const noChunk = math.MinInt
+// StreamRate) are always greater.
+const noChunk = math.MinInt32
 
-// ringIdx maps a chunk id to its window slot.
-func (s *swarm) ringIdx(chunk int) int { return (chunk + s.ringOff) & s.ringMask }
+// freshLen is the per-peer fresh-tail mirror size (a power of two).
+const (
+	freshLen  = 8
+	freshMask = freshLen - 1
+)
 
-// has reports possession of chunk for the peer.
-func (s *swarm) has(p *speer, chunk int) bool { return p.have[s.ringIdx(chunk)] == chunk }
-
-// addChunk records possession of a chunk.
-func (s *swarm) addChunk(p *speer, chunk int) {
-	p.have[s.ringIdx(chunk)] = chunk
-	p.haveCount++
-	p.haveList = append(p.haveList, chunk)
+func bitSet(bs []uint64, i int32)   { bs[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(bs []uint64, i int32) { bs[i>>6] &^= 1 << (uint(i) & 63) }
+func bitGet(bs []uint64, i int32) bool {
+	return bs[i>>6]>>(uint(i)&63)&1 != 0
 }
 
-// compact prunes evicted chunks from haveList once staleness dominates.
-func (s *swarm) compact(p *speer) {
-	if len(p.haveList) <= 4*p.haveCount+16 {
+// ringIdx maps a chunk id to its window slot offset.
+func (s *swarm) ringIdx(chunk int) int { return (chunk + s.ringOff) & s.ringMask }
+
+// has reports possession of chunk for the peer at index px.
+func (s *swarm) has(px int32, chunk int) bool {
+	return s.rings[int(px)*s.ringLen+s.ringIdx(chunk)] == int32(chunk)
+}
+
+// addChunk records possession of a chunk for the peer at index px. A full
+// slab segment — reachable only past the clamped push margin — is
+// force-compacted first; live entries are bounded by the ring, so the
+// compact always frees room.
+func (s *swarm) addChunk(p *speer, px int32, chunk int) {
+	s.rings[int(px)*s.ringLen+s.ringIdx(chunk)] = int32(chunk)
+	p.haveCount++
+	if int(p.listLen) == s.listCap {
+		s.compactSeg(p, px)
+	}
+	if p.listLen == 0 {
+		bitClear(s.empty, px)
+	}
+	s.lists[int(px)*s.listCap+int(p.listLen)] = int32(chunk)
+	if s.useFresh {
+		s.fresh[int(px)*freshLen+int(p.listLen)&freshMask] = int32(chunk)
+	}
+	p.listLen++
+}
+
+// compact prunes evicted chunks from the haveList once staleness dominates.
+func (s *swarm) compact(p *speer, px int32) {
+	if int(p.listLen) <= 4*int(p.haveCount)+16 {
 		return
 	}
-	fresh := p.haveList[:0]
-	for _, c := range p.haveList {
-		if s.has(p, c) {
-			fresh = append(fresh, c)
+	s.compactSeg(p, px)
+}
+
+// compactSeg unconditionally prunes the peer's list segment, then
+// re-mirrors the surviving tail.
+func (s *swarm) compactSeg(p *speer, px int32) {
+	base := int(px) * s.listCap
+	seg := s.lists[base : base+int(p.listLen)]
+	ring := s.rings[int(px)*s.ringLen : (int(px)+1)*s.ringLen]
+	kept := 0
+	for _, c := range seg {
+		if ring[(int(c)+s.ringOff)&s.ringMask] == c {
+			seg[kept] = c
+			kept++
 		}
 	}
-	p.haveList = fresh
+	p.listLen = int32(kept)
+	if kept == 0 {
+		bitSet(s.empty, px)
+		return
+	}
+	if !s.useFresh {
+		return
+	}
+	lo := kept - freshLen
+	if lo < 0 {
+		lo = 0
+	}
+	for idx := lo; idx < kept; idx++ {
+		s.fresh[int(px)*freshLen+idx&freshMask] = seg[idx]
+	}
 }
 
 // price quotes seller's price for chunk through the fast path when the
 // scheme is per-seller flat, falling back to the Pricing interface.
-func (s *swarm) price(seller int32, chunk int) int64 {
-	if s.sellerPrice != nil {
-		return s.sellerPrice[seller]
+func (s *swarm) price(q *speer, seller int32, chunk int) int64 {
+	if s.flatPrice {
+		return q.price
 	}
-	return s.pricing.Price(s.k.Peers.At(seller).ID, chunk)
+	return s.pricing.Price(int(s.k.Peers.At(seller).ID), chunk)
 }
 
-// OnJoin installs a joining peer's window ring, buffer list and upload cap
+// OnJoin installs a joining peer's upload cap and kernel mirrors
 // (sim.Workload). The swarm population is fixed at start, so px always
 // extends the slab.
 func (s *swarm) OnJoin(px int32) error {
-	id := s.k.Peers.At(px).ID
+	kp := s.k.Peers.At(px)
+	id := int(kp.ID)
 	upCap := s.cfg.UploadCap
 	if v, ok := s.cfg.UploadCapOf[id]; ok {
 		if v < 1 {
@@ -276,13 +373,13 @@ func (s *swarm) OnJoin(px int32) error {
 	if int(px) >= len(s.peers) {
 		s.peers = append(s.peers, speer{})
 	}
-	i := int(px)
 	p := &s.peers[px]
 	*p = speer{
-		upCap:    int32(upCap),
-		have:     s.rings[i*s.ringLen : (i+1)*s.ringLen : (i+1)*s.ringLen],
-		haveList: s.lists[i*s.listCap : i*s.listCap : (i+1)*s.listCap],
+		acct:  kp.Acct,
+		upCap: int32(upCap),
+		alive: true,
 	}
+	bitSet(s.empty, px) // nothing buffered yet; the warm start clears it
 	return nil
 }
 
@@ -291,12 +388,18 @@ func (s *swarm) OnJoin(px int32) error {
 // and the kernel's generation bump makes any retained reference inert.
 func (s *swarm) OnDepart(px int32) {
 	p := &s.peers[px]
-	for _, c := range p.haveList {
-		p.have[s.ringIdx(c)] = noChunk
+	base := int(px) * s.listCap
+	ring := s.rings[int(px)*s.ringLen : (int(px)+1)*s.ringLen]
+	for _, c := range s.lists[base : base+int(p.listLen)] {
+		ring[(int(c)+s.ringOff)&s.ringMask] = noChunk
 	}
-	p.haveList = p.haveList[:0]
+	p.listLen = 0
 	p.haveCount = 0
 	p.upCap = 0
+	p.alive = false
+	bitSet(s.empty, px)
+	bitSet(s.dead, px)
+	bitSet(s.full, px)
 }
 
 // Sample implements sim.Workload; sampling is tick-driven.
@@ -358,18 +461,39 @@ func newSwarm(cfg Config) (*swarm, error) {
 	}
 	s.k = k
 	k.Metrics.Gini.Name = "wealth-gini"
-	// Bulk-allocate the per-peer window rings, neighbor lists and buffer-map
-	// sample lists as slices of three shared slabs instead of 3n small
-	// allocations. listCap bounds haveList growth: compaction (once per
-	// round) trims it to haveCount <= ringLen whenever it exceeds
-	// 4*haveCount+16, and a round adds at most DownloadCap purchases plus
-	// the source pushes, so a list never outgrows its slab segment.
-	s.rings = make([]int, n*s.ringLen)
+	// Bulk-allocate the per-peer window rings and buffer-map sample lists
+	// as int32 slabs instead of 2n small allocations — half the footprint
+	// of the old int slabs, which matters because the trading pass samples
+	// them randomly across the whole population. listCap bounds haveList
+	// growth: compaction (once per round) trims it to haveCount <= ringLen
+	// whenever it exceeds 4*haveCount+16, and a round adds at most
+	// DownloadCap purchases plus the source pushes a peer receives. The
+	// push margin is the total seed volume, clamped at 256: an unclamped
+	// margin scales the slab with SourceSeeds (a million-peer swarm seeds
+	// thousands of pushes per round — 32 GB of lists for a worst case that
+	// never occurs), so beyond the clamp a segment that does fill is
+	// force-compacted in place by addChunk instead. Configurations whose
+	// seed volume fits the clamp keep the exact old capacity and can never
+	// hit the forced path, so their byte-for-byte behavior is unchanged.
+	s.rings = make([]int32, n*s.ringLen)
 	for i := range s.rings {
 		s.rings[i] = noChunk
 	}
-	s.listCap = 4*s.ringLen + 16 + cfg.DownloadCap + cfg.SourceSeeds*cfg.StreamRate
-	s.lists = make([]int, n*s.listCap)
+	pushMargin := cfg.SourceSeeds * cfg.StreamRate
+	if pushMargin > 256 {
+		pushMargin = 256
+	}
+	s.listCap = 4*s.ringLen + 16 + cfg.DownloadCap + pushMargin
+	s.lists = make([]int32, n*s.listCap)
+	s.useFresh = 4*cfg.StreamRate <= freshLen
+	if s.useFresh {
+		s.fresh = make([]int32, n*freshLen)
+	}
+	words := (n + 63) / 64
+	s.empty = make([]uint64, words)
+	s.busy = make([]uint64, words)
+	s.full = make([]uint64, words)
+	s.dead = make([]uint64, words)
 	s.peers = make([]speer, 0, n)
 	for _, id := range ids {
 		if _, err := k.Join(id); err != nil {
@@ -379,29 +503,31 @@ func newSwarm(cfg Config) (*swarm, error) {
 	// Resolve routing neighborhoods to peer indices once, carved from one
 	// shared slab (the overlay is static; departed slots are skipped at
 	// trade time via their emptied buffer maps).
-	nbrSlab := make([]int32, 0, 2*cfg.Graph.NumEdges())
+	s.nbrSlab = make([]int32, 0, 2*cfg.Graph.NumEdges())
 	var nbrScratch []int
 	for px := 0; px < n; px++ {
 		nbrScratch = cfg.Graph.AppendNeighbors(nbrScratch[:0], s.ids[px])
-		start := len(nbrSlab)
+		start := len(s.nbrSlab)
 		for _, nb := range nbrScratch {
-			nbrSlab = append(nbrSlab, k.Peers.PxOf(nb))
+			s.nbrSlab = append(s.nbrSlab, k.Peers.PxOf(nb))
 		}
-		s.peers[px].nbrs = nbrSlab[start:len(nbrSlab):len(nbrSlab)]
+		s.peers[px].nbrOff = uint32(start)
+		s.peers[px].nbrLen = uint32(len(s.nbrSlab) - start)
 	}
-	// Pre-resolve per-seller flat prices so the trading loop skips the
-	// interface call and map lookup per probe. Schemes whose price depends
-	// on the chunk or on sale history stay behind the interface.
+	// Pre-resolve per-seller flat prices into the peer records so the
+	// trading loop skips the interface call and map lookup per probe.
+	// Schemes whose price depends on the chunk or on sale history stay
+	// behind the interface.
 	switch pr := cfg.Pricing.(type) {
 	case credit.UniformPricing:
-		s.sellerPrice = make([]int64, n)
-		for i := range s.sellerPrice {
-			s.sellerPrice[i] = pr.Credits
+		s.flatPrice = true
+		for i := range s.peers {
+			s.peers[i].price = pr.Credits
 		}
 	case credit.PerPeerPricing:
-		s.sellerPrice = make([]int64, n)
+		s.flatPrice = true
 		for i, id := range ids {
-			s.sellerPrice[i] = pr.Price(id, 0)
+			s.peers[i].price = pr.Price(id, 0)
 		}
 	default:
 		s.pricing = cfg.Pricing
@@ -419,7 +545,7 @@ func newSwarm(cfg Config) (*swarm, error) {
 	for i := range s.peers {
 		p := &s.peers[i]
 		for chunk := -cfg.DelaySeconds * cfg.StreamRate; chunk < 0; chunk++ {
-			s.addChunk(p, chunk)
+			s.addChunk(p, int32(i), chunk)
 		}
 	}
 	if len(cfg.Departures) > 0 {
@@ -441,6 +567,8 @@ func (s *swarm) round(t int) {
 	cfg, k, rng, res := &s.cfg, s.k, s.k.RNG, s.res
 	n := len(s.peers)
 	inWindow := t >= cfg.MeasureStartSeconds
+	rings, lists, nbrSlab := s.rings, s.lists, s.nbrSlab
+	ringLen, listCap := s.ringLen, s.listCap
 
 	// 0. Planned teardowns scheduled for this round.
 	for _, px := range s.departAt[t] {
@@ -457,21 +585,25 @@ func (s *swarm) round(t int) {
 		chunk := t*cfg.StreamRate + c
 		for sd := 0; sd < cfg.SourceSeeds; sd++ {
 			px := rng.Intn(n)
-			if !k.Peers.At(int32(px)).Alive {
+			p := &s.peers[px]
+			if !p.alive {
 				continue
 			}
-			p := &s.peers[px]
-			if !s.has(p, chunk) {
-				s.addChunk(p, chunk)
+			if !s.has(int32(px), chunk) {
+				s.addChunk(p, int32(px), chunk)
 				res.ChunksSeeded++
 			}
 		}
 	}
 
 	// 2. Reset per-round capacities; randomize buyer order for fairness.
+	// The skip bitsets reset with them: nobody is busy, and only torn-down
+	// peers (upCap 0) start the round at full capacity.
 	for i := range s.peers {
 		s.peers[i].upUsed, s.peers[i].downUsed = 0, 0
 	}
+	clear(s.busy)
+	copy(s.full, s.dead)
 	rng.Shuffle(n, func(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] })
 
 	// 3. Trading pass: each buyer samples neighbors' buffer maps and buys
@@ -484,68 +616,96 @@ func (s *swarm) round(t int) {
 	}
 	downCap := int32(cfg.DownloadCap)
 	ringOff := s.ringOff
+	ringMask := s.ringMask
 	freshSpan := 4 * cfg.StreamRate
+	useFresh := s.useFresh
+	freshSlab := s.fresh
+	empty, busy, full := s.empty, s.busy, s.full
 	for _, bi := range s.order {
-		kp := k.Peers.At(bi)
-		if !kp.Alive {
-			continue
-		}
 		p := &s.peers[bi]
-		if len(p.nbrs) == 0 || p.downUsed >= downCap {
+		if !p.alive {
 			continue
 		}
-		balance := k.Ledger.BalanceAt(kp.Acct)
-		pHave := p.have
+		if p.nbrLen == 0 || p.downUsed >= downCap {
+			continue
+		}
+		balance := k.Ledger.BalanceAt(p.acct)
+		nbrs := nbrSlab[p.nbrOff : p.nbrOff+p.nbrLen]
+		pRing := rings[int(bi)*ringLen : (int(bi)+1)*ringLen]
 		// Visit neighbors starting from a random offset, in two sweeps:
 		// idle sellers first (least-loaded request routing, as real
 		// mesh protocols do for load balancing), then anyone with
 		// spare upload capacity.
-		offset := rng.Intn(len(p.nbrs))
+		offset := rng.Intn(len(nbrs))
 		for sweep := 0; sweep < 2 && p.downUsed < downCap; sweep++ {
 			cursor := offset
-			for ni := 0; ni < len(p.nbrs) && p.downUsed < downCap; ni++ {
-				si := p.nbrs[cursor]
+			for ni := 0; ni < len(nbrs) && p.downUsed < downCap; ni++ {
+				si := nbrs[cursor]
 				cursor++
-				if cursor == len(p.nbrs) {
+				if cursor == len(nbrs) {
 					cursor = 0
 				}
+				// Bit tests against the cache-resident skip sets stand in
+				// for the seller-record reads they mirror (empty buffer;
+				// busy in the idle sweep; out of upload capacity), so a
+				// skipped seller never pulls its 64-byte record into
+				// cache.
+				w, b := si>>6, uint(si)&63
+				if empty[w]>>b&1 != 0 {
+					continue
+				}
+				if sweep == 0 {
+					if busy[w]>>b&1 != 0 {
+						continue
+					}
+				} else if full[w]>>b&1 != 0 {
+					continue
+				}
 				q := &s.peers[si]
-				if len(q.haveList) == 0 {
-					continue
-				}
-				if sweep == 0 && q.upUsed > 0 {
-					continue
-				}
-				qHave := q.have
+				qList := lists[int(si)*listCap : int(si)*listCap+int(q.listLen)]
 				for probe := 0; probe < cfg.ProbesPerNeighbor &&
 					p.downUsed < downCap && q.upUsed < q.upCap; probe++ {
 					// Alternate between the seller's freshest
 					// acquisitions (what a buyer most likely misses)
-					// and uniform window samples.
+					// and uniform window samples. Fresh-tail reads hit
+					// the dense mirror slab when the span fits it.
 					var chunk int
 					if probe&1 == 0 {
-						tail := len(q.haveList)
+						tail := len(qList)
 						span := tail
 						if span > freshSpan {
 							span = freshSpan
 						}
-						chunk = q.haveList[tail-1-rng.Intn(span)]
+						idx := tail - 1 - rng.Intn(span)
+						if useFresh {
+							chunk = int(freshSlab[int(si)*freshLen+idx&freshMask])
+						} else {
+							chunk = int(qList[idx])
+						}
 					} else {
-						chunk = q.haveList[rng.Intn(len(q.haveList))]
+						chunk = int(qList[rng.Intn(len(qList))])
 					}
-					// Inlined possession checks; the &(len-1) form lets
-					// the compiler elide the ring bounds checks.
-					if qHave[(chunk+ringOff)&(len(qHave)-1)] != chunk ||
-						chunk < playhead ||
-						pHave[(chunk+ringOff)&(len(pHave)-1)] == chunk {
+					// Possession checks. The seller's own ring is NOT
+					// consulted: a live seller's buffer-list entry at or
+					// past the playhead is always still in its window —
+					// the eviction pass closing round t-1 removes exactly
+					// the chunks below round t's playhead, live window
+					// ids never alias a ring slot (the ring covers the
+					// full chunk lifetime), and departed sellers were
+					// skipped via their emptied lists — so the stale-entry
+					// filter is the playhead bound itself. The buyer-side
+					// &ringMask form lets the compiler elide the ring
+					// bounds check.
+					if chunk < playhead ||
+						pRing[(chunk+ringOff)&ringMask] == int32(chunk) {
 						continue
 					}
-					price := s.price(si, chunk)
+					price := s.price(q, si, chunk)
 					if price > balance {
 						continue
 					}
 					if price > 0 {
-						if !k.Transfer(bi, si, price) {
+						if !k.TransferAcct(p.acct, q.acct, price) {
 							continue
 						}
 						balance -= price
@@ -553,8 +713,14 @@ func (s *swarm) round(t int) {
 							p.spent += price
 						}
 					}
-					s.addChunk(p, chunk)
+					s.addChunk(p, bi, chunk)
 					q.upUsed++
+					if q.upUsed == 1 {
+						busy[w] |= 1 << b
+					}
+					if q.upUsed >= q.upCap {
+						full[w] |= 1 << b
+					}
 					p.downUsed++
 					if inWindow {
 						p.bought++
@@ -571,14 +737,15 @@ func (s *swarm) round(t int) {
 	// neither play nor stall.
 	evictBelow := (t + 1 - cfg.DelaySeconds) * cfg.StreamRate
 	for i := range s.peers {
-		if !k.Peers.At(int32(i)).Alive {
+		p := &s.peers[i]
+		if !p.alive {
 			continue
 		}
-		p := &s.peers[i]
+		ring := rings[i*ringLen : (i+1)*ringLen]
 		for chunk := evictBelow - cfg.StreamRate; chunk < evictBelow; chunk++ {
-			ri := s.ringIdx(chunk)
-			if p.have[ri] == chunk {
-				p.have[ri] = noChunk
+			ri := (chunk + ringOff) & ringMask
+			if ring[ri] == int32(chunk) {
+				ring[ri] = noChunk
 				p.haveCount--
 				if inWindow {
 					p.played++
@@ -588,7 +755,7 @@ func (s *swarm) round(t int) {
 				res.Stalls++
 			}
 		}
-		s.compact(p)
+		s.compact(p, int32(i))
 	}
 
 	// 5. Periodic wealth-Gini sample.
@@ -602,18 +769,17 @@ func (s *swarm) finish() error {
 	window := float64(cfg.HorizonSeconds - cfg.MeasureStartSeconds)
 	spendVec := make([]float64, 0, len(s.peers))
 	for i, id := range s.ids {
-		kp := k.Peers.At(int32(i))
-		if !kp.Alive {
+		p := &s.peers[i]
+		if !p.alive {
 			continue
 		}
-		p := &s.peers[i]
 		res.SpendingRate[id] = float64(p.spent) / window
 		res.DownloadRate[id] = float64(p.bought) / window
-		total := p.played + p.missed
+		total := int(p.played) + int(p.missed)
 		if total > 0 {
 			res.Continuity[id] = float64(p.played) / float64(total)
 		}
-		res.FinalWealth[id] = k.Ledger.BalanceAt(kp.Acct)
+		res.FinalWealth[id] = k.Ledger.BalanceAt(p.acct)
 		spendVec = append(spendVec, res.SpendingRate[id])
 	}
 	if err := k.Finish(); err != nil {

@@ -249,3 +249,37 @@ func TestSpendingRateMatchesStreamCost(t *testing.T) {
 		t.Errorf("mean spending rate = %v, want ~0.9 credits/s", s.Mean)
 	}
 }
+
+// TestHighStreamRateSkipsFreshMirror pins the fresh-tail mirror gating: a
+// probe span wider than the mirror (4*StreamRate > 8) must leave the slab
+// unallocated and the trading pass on the plain list path.
+func TestHighStreamRateSkipsFreshMirror(t *testing.T) {
+	g, err := topology.RandomRegular(60, 8, xrand.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Graph: g, StreamRate: 3, DelaySeconds: 5, UploadCap: 2, DownloadCap: 4,
+		SourceSeeds: 3, InitialWealth: 15, HorizonSeconds: 60, Seed: 34,
+	}
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSwarm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.useFresh || s.fresh != nil {
+		t.Fatalf("fresh mirror active at StreamRate 3 (useFresh=%v, slab len %d)", s.useFresh, len(s.fresh))
+	}
+	if err := s.k.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s.k.Run()
+	if err := s.finish(); err != nil {
+		t.Fatal(err)
+	}
+	if s.res.ChunksTraded == 0 {
+		t.Fatal("high-rate swarm did not trade")
+	}
+}

@@ -57,10 +57,10 @@ func TestStaleHandleInertAfterTeardown(t *testing.T) {
 		t.Fatal("stale ref resolved after teardown")
 	}
 	p := &s.peers[px]
-	if len(p.haveList) != 0 || p.haveCount != 0 {
-		t.Fatalf("teardown left chunks behind: list %d, count %d", len(p.haveList), p.haveCount)
+	if p.listLen != 0 || p.haveCount != 0 {
+		t.Fatalf("teardown left chunks behind: list %d, count %d", p.listLen, p.haveCount)
 	}
-	for ri, c := range p.have {
+	for ri, c := range s.rings[int(px)*s.ringLen : (int(px)+1)*s.ringLen] {
 		if c != noChunk {
 			t.Fatalf("ring slot %d still holds chunk %d", ri, c)
 		}

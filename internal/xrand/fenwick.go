@@ -1,0 +1,97 @@
+package xrand
+
+// Fenwick is a binary-indexed tree over a mutable vector of non-negative
+// weights, supporting O(log n) point updates and O(log n) sampling with
+// probability proportional to weight. It is the incremental counterpart of
+// SampleWeighted for distributions that change between draws — the market's
+// fast weighted-routing mode keeps one per spender over its neighborhood,
+// so degree- and availability-weighted routing stay O(log degree) per event
+// instead of an O(degree) scan with an exp() per entry.
+//
+// The tree is rebuilt in place by Reset (reusing storage), so a recycled
+// peer slot costs no allocation. Weights must be non-negative and finite;
+// sampling with a non-positive total returns ok=false.
+type Fenwick struct {
+	tree  []float64 // 1-based partial sums
+	n     int
+	top   int // highest power of two <= n
+	total float64
+}
+
+// NewFenwick builds a sampler over the given weights in O(n).
+func NewFenwick(weights []float64) *Fenwick {
+	f := &Fenwick{}
+	f.Reset(weights)
+	return f
+}
+
+// Reset rebuilds the tree over a fresh weight vector in O(n), reusing the
+// existing storage when it is large enough.
+func (f *Fenwick) Reset(weights []float64) {
+	n := len(weights)
+	f.n = n
+	if cap(f.tree) < n+1 {
+		f.tree = make([]float64, n+1)
+	} else {
+		f.tree = f.tree[:n+1]
+		clear(f.tree)
+	}
+	f.total = 0
+	for i, w := range weights {
+		f.tree[i+1] = w
+		f.total += w
+	}
+	// Ascending pass pushes each node into its immediate parent: children
+	// are final before their parent is read, yielding the O(n) build.
+	for i := 1; i <= n; i++ {
+		if p := i + (i & -i); p <= n {
+			f.tree[p] += f.tree[i]
+		}
+	}
+	f.top = 1
+	for f.top*2 <= n {
+		f.top *= 2
+	}
+}
+
+// Len returns the number of weights.
+func (f *Fenwick) Len() int { return f.n }
+
+// Total returns the weight sum.
+func (f *Fenwick) Total() float64 { return f.total }
+
+// Add adds delta to the weight at index i (0-based). The resulting weight
+// must stay non-negative.
+func (f *Fenwick) Add(i int, delta float64) {
+	for j := i + 1; j <= f.n; j += j & -j {
+		f.tree[j] += delta
+	}
+	f.total += delta
+}
+
+// Find returns the index i with prefix(i) <= u < prefix(i+1) by binary
+// descent over the tree — the inverse-CDF lookup. u outside [0, Total())
+// clamps to the nearest end, so floating-point slop at the boundaries
+// cannot index out of range.
+func (f *Fenwick) Find(u float64) int {
+	i := 0
+	for k := f.top; k > 0; k >>= 1 {
+		if j := i + k; j <= f.n && f.tree[j] <= u {
+			u -= f.tree[j]
+			i = j
+		}
+	}
+	if i >= f.n {
+		i = f.n - 1
+	}
+	return i
+}
+
+// Sample draws an index with probability weights[i]/Total() using a single
+// uniform variate. ok is false when the total is not positive.
+func (f *Fenwick) Sample(r *RNG) (int, bool) {
+	if f.n == 0 || f.total <= 0 {
+		return 0, false
+	}
+	return f.Find(r.Float64() * f.total), true
+}
