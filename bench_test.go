@@ -212,6 +212,47 @@ func BenchmarkMarketSim(b *testing.B) {
 	}
 }
 
+// BenchmarkMarketSimPolicy is BenchmarkMarketSim with a full policy
+// pipeline — adaptive tax, demurrage, redistribution — so the CI allocs
+// guard covers the policy engine's hot paths: the income hook on every
+// spend and the epoch sweeps. The pipeline must not put the engine on an
+// allocating path (the policies mutate flat state through the kernel
+// host).
+func BenchmarkMarketSimPolicy(b *testing.B) {
+	r := xrand.New(7)
+	g, err := topology.RandomRegular(100, 10, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at, err := NewAdaptiveTaxPolicy(AdaptiveTaxConfig{
+			TargetGini: 0.3, Gain: 0.5, MaxRate: 0.7, Threshold: 20,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dem, err := NewDemurragePolicy(0.05, 40)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunMarket(MarketConfig{
+			Graph:         g,
+			InitialWealth: 20,
+			DefaultMu:     1,
+			Horizon:       1000,
+			Policies:      []EconomicPolicy{at, dem, NewRedistributePolicy()},
+			PolicyEpoch:   25,
+			Seed:          8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.SpendEvents), "events/run")
+	}
+}
+
 func BenchmarkStreamingSim(b *testing.B) {
 	r := xrand.New(9)
 	g, err := topology.RandomRegular(100, 10, r)

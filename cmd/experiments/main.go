@@ -9,6 +9,8 @@
 //	experiments -id fig7 -preset large -cpuprofile cpu.pprof
 //	experiments -scenarios
 //	experiments -scenario flash-crowd [-preset large]
+//	experiments -id policy-sweep
+//	experiments -taxrates 0.05,0.1,0.2 [-preset full]
 //
 // Quick (default) runs scaled-down configurations in seconds; full runs
 // paper-scale parameters (N up to 1000 peers, 40 000 simulated seconds) and
@@ -29,6 +31,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"creditp2p"
 )
@@ -47,6 +51,7 @@ func run(args []string) error {
 	all := fs.Bool("all", false, "run every experiment")
 	scenarios := fs.Bool("scenarios", false, "list available scenario presets")
 	scenarioName := fs.String("scenario", "", "scenario preset to run (see -scenarios)")
+	taxRates := fs.String("taxrates", "", "comma-separated tax-rate grid for the policy-sweep experiment (e.g. 0.05,0.1,0.2)")
 	presetName := fs.String("preset", "quick", "quick, full, large or xlarge")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file after the run")
@@ -102,6 +107,12 @@ func run(args []string) error {
 			fmt.Printf("%-16s %s\n", sc.Name, sc.Summary)
 		}
 		return nil
+	case *taxRates != "":
+		rates, err := parseRates(*taxRates)
+		if err != nil {
+			return err
+		}
+		return creditp2p.RunPolicySweep(rates, preset, os.Stdout)
 	case *scenarioName != "":
 		_, err := creditp2p.RunScenario(*scenarioName, preset, os.Stdout)
 		return err
@@ -111,6 +122,19 @@ func run(args []string) error {
 		return creditp2p.RunExperiment(*id, preset, os.Stdout)
 	default:
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -list, -id, -all, -scenarios or -scenario")
+		return fmt.Errorf("nothing to do: pass -list, -id, -all, -scenarios, -scenario or -taxrates")
 	}
+}
+
+// parseRates parses the -taxrates grid.
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("taxrates: %w", err)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
 }

@@ -12,6 +12,7 @@ import (
 	"creditp2p/internal/credit"
 	"creditp2p/internal/des"
 	"creditp2p/internal/market"
+	"creditp2p/internal/policy"
 	"creditp2p/internal/scenario"
 	"creditp2p/internal/streaming"
 	"creditp2p/internal/topology"
@@ -93,6 +94,26 @@ func hashStreaming(res *streaming.Result) uint64 {
 	return h.Sum64()
 }
 
+// hashStreamingPolicy extends hashStreaming with the policy counters the
+// engine added to the streaming Result. A separate hash keeps the
+// pre-engine streaming lines byte-stable.
+func hashStreamingPolicy(res *streaming.Result) uint64 {
+	h := fnv.New64a()
+	u64(h, hashStreaming(res))
+	f64(h, float64(res.TaxCollected))
+	f64(h, float64(res.TaxRedistributed))
+	f64(h, float64(res.Injected))
+	return h.Sum64()
+}
+
+func u64(h interface{ Write([]byte) (int, error) }, u uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
 func marketGraph(n, d int, seed int64) *topology.Graph {
 	g, err := topology.RandomRegular(n, d, xrand.New(seed))
 	if err != nil {
@@ -167,7 +188,87 @@ func main() {
 		fmt.Printf("streaming/%-15s %016x\n", c.name, hashStreaming(res))
 	}
 
-	for _, name := range []string{"flash-crowd", "free-rider-mix", "diurnal-churn", "seeder-drain"} {
+	// Policy-engine modes. These lines extend the battery; the combos
+	// above keep their exact pre-engine fingerprints (the default-mode
+	// byte-compatibility contract).
+	adaptive := func() *policy.AdaptiveTax {
+		at, err := policy.NewAdaptiveTax(policy.AdaptiveTaxConfig{
+			TargetGini: 0.3, Gain: 0.5, MaxRate: 0.7, Threshold: 15,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return at
+	}
+	demurrage := func() *policy.Demurrage {
+		d, err := policy.NewDemurrage(0.05, 30)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+	subsidy := func(fromPot bool) *policy.NewcomerSubsidy {
+		s, err := policy.NewNewcomerSubsidy(5, fromPot)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	incomeTax := func() *policy.IncomeTax {
+		it, err := policy.NewIncomeTax(0.3, 12)
+		if err != nil {
+			panic(err)
+		}
+		return it
+	}
+	injection := func() *policy.Injection {
+		in, err := policy.NewInjection(1)
+		if err != nil {
+			panic(err)
+		}
+		return in
+	}
+	pcases := []struct {
+		name string
+		cfg  market.Config
+	}{
+		{"adaptive-tax", market.Config{Graph: scaleFree(200, 29), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability,
+			Policies: []policy.Policy{adaptive(), policy.NewRedistribute()}, PolicyEpoch: 10, Seed: 30}},
+		{"demurrage+subsidy", market.Config{Graph: scaleFree(200, 31), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Churn: fastChurn,
+			Policies: []policy.Policy{demurrage(), subsidy(true), policy.NewRedistribute()}, PolicyEpoch: 15, Seed: 32}},
+		{"binomial-tax+legacy-inject", market.Config{Graph: marketGraph(80, 8, 33), InitialWealth: 20, DefaultMu: 1, Horizon: 400,
+			Inject: &market.InjectConfig{Amount: 1, Period: 60},
+			Policies: []policy.Policy{incomeTax(), policy.NewRedistribute()}, Seed: 34}},
+	}
+	for _, c := range pcases {
+		res, err := market.Run(c.cfg)
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		fmt.Printf("market-policy/%-25s %016x\n", c.name, hashMarket(res))
+	}
+
+	spcases := []struct {
+		name string
+		cfg  streaming.Config
+	}{
+		{"tax+inject", streaming.Config{Graph: marketGraph(60, 8, 35), StreamRate: 2, DelaySeconds: 6, UploadCap: 1, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, UploadCapOf: map[int]int{1: 8, 2: 8},
+			Policies: []policy.Policy{incomeTax(), policy.NewRedistribute(), injection()}, PolicyEpoch: 20, Seed: 36}},
+		{"demurrage+drain", streaming.Config{Graph: marketGraph(60, 8, 37), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, Departures: []streaming.Departure{{ID: 1, AtSecond: 60}},
+			Policies: []policy.Policy{demurrage(), policy.NewRedistribute()}, PolicyEpoch: 25, Seed: 38}},
+	}
+	for _, c := range spcases {
+		res, err := streaming.Run(c.cfg)
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		fmt.Printf("streaming-policy/%-22s %016x\n", c.name, hashStreamingPolicy(res))
+	}
+
+	for _, name := range []string{
+		"flash-crowd", "free-rider-mix", "diurnal-churn", "seeder-drain",
+		"adaptive-tax", "demurrage", "newcomer-subsidy", "taxed-streaming",
+	} {
 		out, err := scenario.RunNamed(name, scenario.ScaleQuick)
 		if err != nil {
 			panic(name + ": " + err.Error())

@@ -27,6 +27,7 @@ import (
 	"creditp2p/internal/des"
 	"creditp2p/internal/experiments"
 	"creditp2p/internal/market"
+	"creditp2p/internal/policy"
 	"creditp2p/internal/scenario"
 	"creditp2p/internal/stats"
 	"creditp2p/internal/streaming"
@@ -79,10 +80,49 @@ type (
 	UniformPricing = credit.UniformPricing
 	// PerPeerPricing lets each seller set a flat price.
 	PerPeerPricing = credit.PerPeerPricing
-	// TaxPolicy is the Sec. VI-C taxation counter-measure.
+	// TaxPolicy is the Sec. VI-C taxation counter-measure (the legacy
+	// byte-compatible path; new code should compose EconomicPolicy stages).
 	TaxPolicy = credit.TaxPolicy
 	// DynamicSpending is the Sec. VI-D wealth-coupled spending policy.
 	DynamicSpending = credit.DynamicSpending
+
+	// EconomicPolicy is one composable policy-engine stage; set
+	// MarketConfig.Policies / StreamingConfig.Policies to a pipeline of
+	// them (with MarketConfig.PolicyEpoch / StreamingConfig.PolicyEpoch
+	// for epoch-driven stages).
+	EconomicPolicy = policy.Policy
+	// IncomeTaxPolicy taxes income above a wealth threshold with a single
+	// binomial draw per payment (collect-only; compose with
+	// RedistributePolicy).
+	IncomeTaxPolicy = policy.IncomeTax
+	// AdaptiveTaxPolicy steers its tax rate toward a target wealth Gini.
+	AdaptiveTaxPolicy = policy.AdaptiveTax
+	// AdaptiveTaxConfig parameterizes the adaptive controller.
+	AdaptiveTaxConfig = policy.AdaptiveTaxConfig
+	// DemurragePolicy decays idle hoards into the pot every epoch.
+	DemurragePolicy = policy.Demurrage
+	// NewcomerSubsidyPolicy grants joining peers credits (minted or
+	// pot-funded).
+	NewcomerSubsidyPolicy = policy.NewcomerSubsidy
+	// InjectionPolicy mints credits into every live peer per epoch.
+	InjectionPolicy = policy.Injection
+	// RedistributePolicy drains the pot in one-credit-per-peer rounds.
+	RedistributePolicy = policy.Redistribute
+
+	// PolicySpec declares one policy stage on a Scenario's Credit.
+	PolicySpec = scenario.PolicySpec
+	// PolicyKind selects the stage a PolicySpec compiles to.
+	PolicyKind = scenario.PolicyKind
+	// ScenarioCredit is a Scenario's declarative currency policy.
+	ScenarioCredit = scenario.Credit
+	// ScenarioTopology declares a Scenario's overlay generator.
+	ScenarioTopology = scenario.Topology
+	// ScenarioChurn declares a Scenario's peer-dynamics pattern.
+	ScenarioChurn = scenario.Churn
+	// ScenarioMarket declares a Scenario's market-workload knobs.
+	ScenarioMarket = scenario.Market
+	// ScenarioStreaming declares a Scenario's streaming-workload knobs.
+	ScenarioStreaming = scenario.Streaming
 
 	// LorenzPoint is one point of a Lorenz curve.
 	LorenzPoint = stats.LorenzPoint
@@ -181,6 +221,70 @@ func Threshold(f Density) ThresholdResult { return core.Threshold(f) }
 // threshold >= 0).
 func NewTaxPolicy(rate float64, threshold int64) (*TaxPolicy, error) {
 	return credit.NewTaxPolicy(rate, threshold)
+}
+
+// Declarative policy kinds for PolicySpec.Kind.
+const (
+	// PolicyTax is a fixed-rate income tax above a wealth threshold.
+	PolicyTax = scenario.PolicyTax
+	// PolicyAdaptiveTax steers the tax rate toward a target wealth Gini.
+	PolicyAdaptiveTax = scenario.PolicyAdaptiveTax
+	// PolicyDemurrage decays wealth above a threshold every epoch.
+	PolicyDemurrage = scenario.PolicyDemurrage
+	// PolicySubsidy grants joining peers credits.
+	PolicySubsidy = scenario.PolicySubsidy
+	// PolicyInject mints credits into every live peer per epoch.
+	PolicyInject = scenario.PolicyInject
+	// PolicyRedistribute drains the pot in whole per-peer rounds.
+	PolicyRedistribute = scenario.PolicyRedistribute
+)
+
+// Scenario workload and topology kinds for ad-hoc scenario definitions.
+const (
+	// WorkloadMarket compiles a scenario to the market simulator.
+	WorkloadMarket = scenario.WorkloadMarket
+	// WorkloadStreaming compiles a scenario to the streaming simulator.
+	WorkloadStreaming = scenario.WorkloadStreaming
+	// TopoScaleFree draws a power-law degree sequence.
+	TopoScaleFree = scenario.TopoScaleFree
+	// TopoRegular builds a random d-regular overlay.
+	TopoRegular = scenario.TopoRegular
+)
+
+// NewIncomeTaxPolicy validates and builds a fixed-rate income-tax stage.
+func NewIncomeTaxPolicy(rate float64, threshold int64) (*IncomeTaxPolicy, error) {
+	return policy.NewIncomeTax(rate, threshold)
+}
+
+// NewAdaptiveTaxPolicy validates and builds the Gini-targeting controller.
+func NewAdaptiveTaxPolicy(cfg AdaptiveTaxConfig) (*AdaptiveTaxPolicy, error) {
+	return policy.NewAdaptiveTax(cfg)
+}
+
+// NewDemurragePolicy validates and builds a demurrage stage: rate of each
+// balance's excess over exempt decays into the pot per epoch.
+func NewDemurragePolicy(rate float64, exempt int64) (*DemurragePolicy, error) {
+	return policy.NewDemurrage(rate, exempt)
+}
+
+// NewNewcomerSubsidyPolicy validates and builds a join-grant stage.
+func NewNewcomerSubsidyPolicy(grant int64, fromPot bool) (*NewcomerSubsidyPolicy, error) {
+	return policy.NewNewcomerSubsidy(grant, fromPot)
+}
+
+// NewInjectionPolicy validates and builds a per-epoch minting stage.
+func NewInjectionPolicy(amount int64) (*InjectionPolicy, error) {
+	return policy.NewInjection(amount)
+}
+
+// NewRedistributePolicy builds the pot-draining stage.
+func NewRedistributePolicy() *RedistributePolicy { return policy.NewRedistribute() }
+
+// RunPolicySweep runs the policy-parameter sweep experiment over a custom
+// tax-rate grid (cmd/experiments -taxrates), writing the comparison table
+// and chart to w.
+func RunPolicySweep(rates []float64, p Preset, w io.Writer) error {
+	return experiments.PolicySweep(rates, p, w)
 }
 
 // RunMarket executes the queue-granularity credit-market simulation.

@@ -12,6 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "fig10", "fig11",
 		"exact-vs-approx", "threshold", "pricing", "inflation",
+		"policy-sweep",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -103,5 +104,24 @@ func TestThresholdTableContainsVerdicts(t *testing.T) {
 	}
 	if !strings.Contains(out, "inf") {
 		t.Errorf("symmetric case should report infinite threshold:\n%s", out)
+	}
+}
+
+// TestPolicySweepRuns smoke-tests the policy sweep through both entry
+// points: the registered experiment (default rate grid) and the custom
+// grid the -taxrates flag uses. The output must carry every variant row.
+func TestPolicySweepRuns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PolicySweep([]float64{0.2}, Quick, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"none", "tax=0.2000", "adaptive(g=0.3)", "demurrage=0.05"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	if err := PolicySweep(nil, Quick, &buf); err == nil {
+		t.Error("empty rate grid accepted")
 	}
 }

@@ -1,0 +1,188 @@
+// Package policy is the kernel-level economic policy engine: the
+// composable implementation of the paper's Sec. VI-C sustainability
+// countermeasures (income taxation with redistribution, periodic credit
+// injection) and the feedback-driven mechanisms the related work argues
+// actually decide sustainability (Huberman & Wu's adaptive incentives,
+// Ramaswamy et al.'s hybrid schemes): an adaptive tax controller steering
+// toward a target wealth Gini, demurrage on idle hoards, and newcomer
+// endowment/subsidy.
+//
+// A Policy is one pipeline stage with four hooks — income transfer, the
+// periodic engine epoch, peer join and peer departure — invoked by the
+// simulation kernel (internal/sim) through an Engine. Policies act on the
+// economy only through the Host interface, which the kernel implements:
+// ledger movements in or out of the engine's shared pot account, minting,
+// and the current wealth Gini. Both workloads (market and streaming) share
+// one implementation of every mechanism.
+//
+// Determinism contract: policies draw randomness exclusively from
+// Host.RNG() (the kernel's single stream), iterate peers in dense index
+// order, and run in pipeline order — so equal seeds and equal pipelines
+// produce byte-identical runs. Composition order matters and is part of a
+// scenario's identity: an income payment flows through the stages in
+// order, each stage seeing what its predecessors left; the shared pot is
+// drained by the first stage that spends it.
+package policy
+
+import (
+	"errors"
+	"fmt"
+
+	"creditp2p/internal/xrand"
+)
+
+// ErrBadPolicy is returned for invalid policy parameters.
+var ErrBadPolicy = errors.New("policy: invalid policy")
+
+// Host is the surface a policy acts through, implemented by the simulation
+// kernel. Peers are addressed by their dense kernel index px; iteration is
+// always 0..Peers()-1 with an Alive check, which visits peers in a
+// deterministic, seed-independent order.
+//
+// Pay and Mint notify the workload that the peer's balance grew (the
+// market wakes idle spenders); Collect does not.
+type Host interface {
+	// Now is the current virtual time.
+	Now() float64
+	// Running reports whether the simulation has started (distinguishes
+	// mid-run churn arrivals from the initial population in OnJoin).
+	Running() bool
+	// RNG is the run's single deterministic random stream.
+	RNG() *xrand.RNG
+	// Live is the number of live peers; Peers the dense table length.
+	Live() int
+	Peers() int
+	// Alive reports liveness of the peer at dense index px.
+	Alive(px int32) bool
+	// Balance returns a live peer's credit balance.
+	Balance(px int32) int64
+	// PotBalance returns the engine's shared pot balance.
+	PotBalance() int64
+	// Collect moves amount credits from a live peer into the pot.
+	Collect(px int32, amount int64) bool
+	// Pay moves amount credits from the pot to a live peer and wakes it.
+	Pay(px int32, amount int64) bool
+	// Mint creates amount fresh credits in a live peer's account and wakes
+	// it (inflationary — the supply grows).
+	Mint(px int32, amount int64) bool
+	// Gini returns the current wealth Gini over live peers; ok is false
+	// when the population is empty.
+	Gini() (float64, bool)
+}
+
+// Policy is one composable pipeline stage. Implementations embed Base and
+// override the hooks they need.
+type Policy interface {
+	// OnIncome fires after amount credits landed at peer px whose
+	// pre-income balance was pre (the current balance already includes the
+	// income, minus whatever earlier stages collected). It returns the
+	// credits this stage removed from the peer, so later stages see only
+	// the remaining income.
+	OnIncome(h Host, px int32, pre, amount int64) int64
+	// OnEpoch fires once per engine epoch at virtual time now.
+	OnEpoch(h Host, now float64)
+	// OnJoin fires after peer px joined (account open, workload installed).
+	OnJoin(h Host, px int32)
+	// OnDepart fires before peer px is torn down (its balance is still
+	// intact; the kernel burns it afterwards).
+	OnDepart(h Host, px int32)
+}
+
+// Totals aggregates a policy's cumulative ledger activity for Result
+// reporting, summed across the pipeline by Engine.Totals.
+type Totals struct {
+	// Collected counts credits taxed or decayed into the pot.
+	Collected int64
+	// Redistributed counts pot credits paid back out to peers.
+	Redistributed int64
+	// Injected counts credits minted into peer accounts.
+	Injected int64
+}
+
+// accountant is implemented by policies that contribute to Totals.
+type accountant interface {
+	addTotals(*Totals)
+}
+
+// Base is the no-op Policy; concrete policies embed it and override the
+// hooks they use.
+type Base struct{}
+
+// OnIncome implements Policy as a no-op.
+func (Base) OnIncome(Host, int32, int64, int64) int64 { return 0 }
+
+// OnEpoch implements Policy as a no-op.
+func (Base) OnEpoch(Host, float64) {}
+
+// OnJoin implements Policy as a no-op.
+func (Base) OnJoin(Host, int32) {}
+
+// OnDepart implements Policy as a no-op.
+func (Base) OnDepart(Host, int32) {}
+
+// Engine drives a pipeline of policies. The kernel owns one engine per run
+// (nil when the run declares no economic policy) and calls the hook
+// methods; the engine fans them out in pipeline order.
+type Engine struct {
+	ps []Policy
+}
+
+// NewEngine builds an engine over the pipeline, in order.
+func NewEngine(ps ...Policy) *Engine {
+	return &Engine{ps: ps}
+}
+
+// Len returns the pipeline length.
+func (e *Engine) Len() int { return len(e.ps) }
+
+// Income runs the income hook: each stage sees the income remaining after
+// its predecessors' collections.
+func (e *Engine) Income(h Host, px int32, pre, amount int64) {
+	rem := amount
+	for _, p := range e.ps {
+		if rem < 0 {
+			rem = 0
+		}
+		rem -= p.OnIncome(h, px, pre, rem)
+	}
+}
+
+// Epoch runs the periodic hook across the pipeline.
+func (e *Engine) Epoch(h Host, now float64) {
+	for _, p := range e.ps {
+		p.OnEpoch(h, now)
+	}
+}
+
+// Joined runs the join hook across the pipeline.
+func (e *Engine) Joined(h Host, px int32) {
+	for _, p := range e.ps {
+		p.OnJoin(h, px)
+	}
+}
+
+// Departed runs the departure hook across the pipeline.
+func (e *Engine) Departed(h Host, px int32) {
+	for _, p := range e.ps {
+		p.OnDepart(h, px)
+	}
+}
+
+// Totals sums the pipeline's cumulative activity.
+func (e *Engine) Totals() Totals {
+	var t Totals
+	for _, p := range e.ps {
+		if a, ok := p.(accountant); ok {
+			a.addTotals(&t)
+		}
+	}
+	return t
+}
+
+// validRate checks a probability-like parameter.
+func validRate(name string, r float64) error {
+	if r < 0 || r > 1 || r != r {
+		return fmt.Errorf("%w: %s %v outside [0, 1]", ErrBadPolicy, name, r)
+	}
+	return nil
+}

@@ -65,6 +65,98 @@ func init() {
 		Seed:    7003,
 	})
 	Register(Scenario{
+		Name: "adaptive-tax",
+		Summary: "Feedback-driven taxation: an availability-routed market " +
+			"condenses into the poverty trap; a controller raises the tax rate " +
+			"toward a Gini-0.3 setpoint and redistribution recycles the pot",
+		Workload: WorkloadMarket,
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Churn:    Churn{Pattern: ChurnNone},
+		Credit: Credit{
+			InitialWealth: 30,
+			Policies: []PolicySpec{
+				{Kind: PolicyAdaptiveTax, TargetGini: 0.3, Gain: 0.5, MaxRate: 0.6, Threshold: 30},
+				{Kind: PolicyRedistribute},
+			},
+			PolicyEpoch: 0.02,
+		},
+		Market:  Market{DefaultMu: 1, Routing: market.RouteAvailability},
+		Horizon: 2000,
+		Seed:    7005,
+	})
+	Register(Scenario{
+		Name: "demurrage",
+		Summary: "Carrying cost on idle hoards: a degree-routed market piles " +
+			"wealth onto hubs; 5% of every balance above twice the endowment " +
+			"decays into the pot per epoch and flows back as redistribution",
+		Workload: WorkloadMarket,
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Churn:    Churn{Pattern: ChurnNone},
+		Credit: Credit{
+			InitialWealth: 30,
+			Policies: []PolicySpec{
+				{Kind: PolicyDemurrage, Rate: 0.05, Threshold: 60},
+				{Kind: PolicyRedistribute},
+			},
+			PolicyEpoch: 0.025,
+		},
+		Market:  Market{DefaultMu: 1, Routing: market.RouteDegreeWeighted},
+		Horizon: 2000,
+		Seed:    7006,
+	})
+	Register(Scenario{
+		Name: "newcomer-subsidy",
+		Summary: "Wealth transfer to arrivals: under churn, income taxed from " +
+			"rich incumbents funds a pot-paid grant tripling each joiner's " +
+			"thin endowment; the rest redistributes",
+		Workload: WorkloadMarket,
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Churn: Churn{
+			Pattern:      ChurnConstant,
+			ArrivalRate:  0.833,
+			MeanLifespan: 1200,
+			AttachDegree: 4,
+			Preferential: false,
+		},
+		Credit: Credit{
+			InitialWealth: 10,
+			Policies: []PolicySpec{
+				{Kind: PolicyTax, Rate: 0.25, Threshold: 30},
+				{Kind: PolicySubsidy, Amount: 20, FromPot: true},
+				{Kind: PolicyRedistribute},
+			},
+		},
+		Market:  Market{DefaultMu: 1, Routing: market.RouteUniform},
+		Horizon: 2000,
+		Seed:    7007,
+	})
+	Register(Scenario{
+		Name: "taxed-streaming",
+		Summary: "Countermeasures reach the protocol level: broadband seeders " +
+			"concentrate chunk income, a 30% income tax above threshold 20 " +
+			"redistributes it and a credit trickle tops every peer up",
+		Workload: WorkloadStreaming,
+		Credit: Credit{
+			InitialWealth: 15,
+			TaxRate:       0.3,
+			TaxThreshold:  20,
+			InjectAmount:  1,
+			InjectPeriod:  0.1,
+		},
+		Topology: Topology{Kind: TopoScaleFree, N: 1000, Alpha: 2.5, MeanDegree: 20},
+		Streaming: Streaming{
+			StreamRate:      2,
+			DelaySeconds:    8,
+			UploadCap:       1,
+			DownloadCap:     3,
+			SourceSeeds:     4,
+			SeederFrac:      0.05,
+			SeederUploadCap: 8,
+		},
+		Horizon: 400,
+		Seed:    7008,
+	})
+	Register(Scenario{
 		Name: "seeder-drain",
 		Summary: "3% of the swarm are high-capacity seeders that depart one by " +
 			"one mid-run; chunk supply tightens and playback continuity sags",

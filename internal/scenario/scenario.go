@@ -24,6 +24,7 @@ import (
 	"creditp2p/internal/credit"
 	"creditp2p/internal/des"
 	"creditp2p/internal/market"
+	"creditp2p/internal/policy"
 	"creditp2p/internal/streaming"
 	"creditp2p/internal/topology"
 	"creditp2p/internal/trace"
@@ -146,7 +147,14 @@ type Churn struct {
 }
 
 // Credit declares the currency policy: the endowment, optional taxation
-// and optional periodic injection (period a fraction of the horizon).
+// and optional periodic injection (period a fraction of the horizon), and
+// the composable policy-engine pipeline.
+//
+// On a market scenario TaxRate/Inject* compile to the legacy
+// byte-compatible engine stages; on a streaming scenario they compile to
+// the engine's binomial IncomeTax + Redistribute and Injection stages —
+// streaming had no countermeasures before the engine. Policies appends
+// further stages in declared order.
 type Credit struct {
 	InitialWealth int64
 	// TaxRate > 0 enables Sec. VI-C taxation above TaxThreshold.
@@ -156,6 +164,122 @@ type Credit struct {
 	// InjectPeriod (fraction of the horizon).
 	InjectAmount int64
 	InjectPeriod float64
+	// Policies declares additional policy-engine stages, run in order
+	// after the legacy stages above.
+	Policies []PolicySpec
+	// PolicyEpoch is the engine's epoch period as a fraction of the
+	// horizon; required when any declared policy is epoch-driven
+	// (demurrage, adaptive tax, injection).
+	PolicyEpoch float64
+}
+
+// PolicyKind selects a policy-engine stage.
+type PolicyKind int
+
+const (
+	// PolicyTax is a fixed-rate income tax above a wealth threshold
+	// (collect-only; compose with PolicyRedistribute). Rate, Threshold.
+	PolicyTax PolicyKind = iota + 1
+	// PolicyAdaptiveTax is the feedback controller steering the tax rate
+	// toward a target wealth Gini. TargetGini, Gain, Rate (initial),
+	// MinRate, MaxRate, Threshold; epoch-driven.
+	PolicyAdaptiveTax
+	// PolicyDemurrage decays Rate of each peer's wealth above Threshold
+	// into the pot every epoch; epoch-driven.
+	PolicyDemurrage
+	// PolicySubsidy grants Amount credits to joining peers — minted, or
+	// paid from the pot when FromPot.
+	PolicySubsidy
+	// PolicyInject mints Amount credits per live peer every epoch;
+	// epoch-driven.
+	PolicyInject
+	// PolicyRedistribute drains the pot in whole one-credit-per-peer
+	// rounds on every income event and epoch.
+	PolicyRedistribute
+)
+
+// PolicySpec is one declarative policy-engine stage. Fields are read per
+// Kind; see the PolicyKind constants.
+type PolicySpec struct {
+	Kind PolicyKind
+	// Rate is the tax/decay rate (initial rate for PolicyAdaptiveTax).
+	Rate float64
+	// Threshold is the wealth level gating taxation or demurrage.
+	Threshold int64
+	// TargetGini and Gain shape the PolicyAdaptiveTax controller.
+	TargetGini float64
+	Gain       float64
+	// MinRate and MaxRate clamp the adaptive controller (MaxRate 0 = 1).
+	MinRate, MaxRate float64
+	// Amount is the subsidy grant or per-peer injection.
+	Amount int64
+	// FromPot funds PolicySubsidy from the pot instead of minting.
+	FromPot bool
+}
+
+// epochDriven reports whether the stage needs the engine's epoch clock.
+func (ps PolicySpec) epochDriven() bool {
+	switch ps.Kind {
+	case PolicyAdaptiveTax, PolicyDemurrage, PolicyInject:
+		return true
+	default:
+		return false
+	}
+}
+
+// compile builds the stage.
+func (ps PolicySpec) compile() (policy.Policy, error) {
+	switch ps.Kind {
+	case PolicyTax:
+		return policy.NewIncomeTax(ps.Rate, ps.Threshold)
+	case PolicyAdaptiveTax:
+		return policy.NewAdaptiveTax(policy.AdaptiveTaxConfig{
+			TargetGini:  ps.TargetGini,
+			Gain:        ps.Gain,
+			InitialRate: ps.Rate,
+			MinRate:     ps.MinRate,
+			MaxRate:     ps.MaxRate,
+			Threshold:   ps.Threshold,
+		})
+	case PolicyDemurrage:
+		return policy.NewDemurrage(ps.Rate, ps.Threshold)
+	case PolicySubsidy:
+		return policy.NewNewcomerSubsidy(ps.Amount, ps.FromPot)
+	case PolicyInject:
+		return policy.NewInjection(ps.Amount)
+	case PolicyRedistribute:
+		return policy.NewRedistribute(), nil
+	default:
+		return nil, fmt.Errorf("%w: policy kind %d", ErrBadScenario, int(ps.Kind))
+	}
+}
+
+// compilePolicies builds the declared pipeline at a concrete horizon,
+// returning the stages and the absolute epoch period.
+func (c Credit) compilePolicies(horizon float64) ([]policy.Policy, float64, error) {
+	if c.PolicyEpoch < 0 || c.PolicyEpoch > 1 || math.IsNaN(c.PolicyEpoch) {
+		return nil, 0, fmt.Errorf("%w: policy epoch %v (fraction of horizon)", ErrBadScenario, c.PolicyEpoch)
+	}
+	if len(c.Policies) == 0 {
+		if c.PolicyEpoch > 0 {
+			return nil, 0, fmt.Errorf("%w: policy epoch without policies", ErrBadScenario)
+		}
+		return nil, 0, nil
+	}
+	pols := make([]policy.Policy, 0, len(c.Policies))
+	epochNeeded := false
+	for i, ps := range c.Policies {
+		p, err := ps.compile()
+		if err != nil {
+			return nil, 0, fmt.Errorf("policy %d: %w", i, err)
+		}
+		pols = append(pols, p)
+		epochNeeded = epochNeeded || ps.epochDriven()
+	}
+	if epochNeeded && c.PolicyEpoch == 0 {
+		return nil, 0, fmt.Errorf("%w: epoch-driven policy declared without PolicyEpoch", ErrBadScenario)
+	}
+	return pols, c.PolicyEpoch * horizon, nil
 }
 
 // WorkloadKind selects the simulator a scenario compiles to.
@@ -395,6 +519,12 @@ func (sc Scenario) MarketConfig(scale Scale) (market.Config, error) {
 		}
 		cfg.Inject = &market.InjectConfig{Amount: sc.Credit.InjectAmount, Period: sc.Credit.InjectPeriod * d.horizon}
 	}
+	pols, epoch, err := sc.Credit.compilePolicies(d.horizon)
+	if err != nil {
+		return market.Config{}, err
+	}
+	cfg.Policies = pols
+	cfg.PolicyEpoch = epoch
 	if sc.Churn.Pattern != ChurnNone {
 		// Lifespans compress with the horizon and the arrival rate scales
 		// by popFactor/ratio, so the equilibrium churn population
@@ -451,6 +581,43 @@ func (sc Scenario) StreamingConfig(scale Scale) (streaming.Config, error) {
 		IncrementalGini: d.incGini,
 		Seed:            sc.Seed + 1,
 	}
+	// The streaming workload runs every countermeasure through the shared
+	// policy engine: the declarative TaxRate/Inject* knobs compile to
+	// engine stages (binomial IncomeTax + Redistribute, Injection) ahead
+	// of the declared pipeline.
+	var pols []policy.Policy
+	epoch := 0.0
+	if sc.Credit.TaxRate > 0 {
+		it, err := policy.NewIncomeTax(sc.Credit.TaxRate, sc.Credit.TaxThreshold)
+		if err != nil {
+			return streaming.Config{}, err
+		}
+		pols = append(pols, it, policy.NewRedistribute())
+	}
+	if sc.Credit.InjectAmount > 0 {
+		if sc.Credit.InjectPeriod <= 0 || sc.Credit.InjectPeriod > 1 {
+			return streaming.Config{}, fmt.Errorf("%w: injection period %v (fraction of horizon)", ErrBadScenario, sc.Credit.InjectPeriod)
+		}
+		inj, err := policy.NewInjection(sc.Credit.InjectAmount)
+		if err != nil {
+			return streaming.Config{}, err
+		}
+		pols = append(pols, inj)
+		epoch = sc.Credit.InjectPeriod * d.horizon
+	}
+	declared, depoch, err := sc.Credit.compilePolicies(d.horizon)
+	if err != nil {
+		return streaming.Config{}, err
+	}
+	pols = append(pols, declared...)
+	if depoch > 0 {
+		if epoch > 0 && depoch != epoch {
+			return streaming.Config{}, fmt.Errorf("%w: policy epoch %v conflicts with injection period %v (the engine has one epoch clock)", ErrBadScenario, depoch, epoch)
+		}
+		epoch = depoch
+	}
+	cfg.Policies = pols
+	cfg.PolicyEpoch = epoch
 	if st.SeederFrac > 0 {
 		if st.SeederFrac >= 1 || st.SeederUploadCap < 1 {
 			return streaming.Config{}, fmt.Errorf("%w: seeders %+v", ErrBadScenario, st)
@@ -572,6 +739,8 @@ func (o *Outcome) Report(w io.Writer) error {
 		tab.AddFloats("spending Gini", r.GiniSpending)
 		tab.AddFloats("final wealth Gini", r.GiniWealth)
 		tab.AddFloats("mean continuity", meanContinuity(r))
+		tab.AddRow("tax collected / redistributed", fmt.Sprintf("%d / %d", r.TaxCollected, r.TaxRedistributed))
+		tab.AddRow("injected", fmt.Sprint(r.Injected))
 		set.Add(r.WealthGini)
 	}
 	if err := tab.Write(w); err != nil {

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,14 +71,17 @@ func fingerprint(t *testing.T, o *Outcome) string {
 
 // TestPresetsRegistered pins the four regimes this layer exists for.
 func TestPresetsRegistered(t *testing.T) {
-	for _, name := range []string{"flash-crowd", "free-rider-mix", "diurnal-churn", "seeder-drain"} {
+	for _, name := range []string{
+		"flash-crowd", "free-rider-mix", "diurnal-churn", "seeder-drain",
+		"adaptive-tax", "demurrage", "newcomer-subsidy", "taxed-streaming",
+	} {
 		if _, err := Get(name); err != nil {
 			t.Errorf("preset %q missing: %v", name, err)
 		}
 	}
 	all := All()
-	if len(all) < 4 {
-		t.Fatalf("registry holds %d scenarios, want >= 4", len(all))
+	if len(all) < 8 {
+		t.Fatalf("registry holds %d scenarios, want >= 8", len(all))
 	}
 	for i := 1; i < len(all); i++ {
 		if all[i-1].Name >= all[i].Name {
@@ -323,5 +327,196 @@ func TestXLargeDims(t *testing.T) {
 	}
 	if ds.n != 1_000_000 || ds.horizon != 16 {
 		t.Errorf("streaming xlarge dims = n %d horizon %v, want 1_000_000 / 16", ds.n, ds.horizon)
+	}
+}
+
+// TestRegisterErrorPaths pins the registry's panic contract: empty names
+// and duplicate registrations are programming errors caught at init time.
+func TestRegisterErrorPaths(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() { Register(Scenario{}) })
+	mustPanic("duplicate", func() {
+		Register(Scenario{Name: "flash-crowd"}) // already registered by init
+	})
+}
+
+// TestGetUnknown exercises the lookup error path directly.
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("no-such-regime"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("Get(unknown) = %v, want ErrUnknown", err)
+	}
+	if _, err := RunNamed("no-such-regime", ScaleQuick); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("RunNamed(unknown) = %v, want ErrUnknown", err)
+	}
+}
+
+// TestCreditPolicyValidation covers the declarative policy fields' error
+// paths: unknown kinds, out-of-range parameters, and the epoch rules.
+func TestCreditPolicyValidation(t *testing.T) {
+	base := func() Scenario {
+		sc, err := Get("adaptive-tax")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	check := func(name string, mutate func(*Scenario)) {
+		t.Helper()
+		sc := base()
+		mutate(&sc)
+		if _, err := sc.MarketConfig(ScaleQuick); err == nil {
+			t.Errorf("%s: invalid credit policy accepted", name)
+		}
+	}
+	check("unknown kind", func(sc *Scenario) {
+		sc.Credit.Policies = []PolicySpec{{Kind: PolicyKind(99)}}
+	})
+	check("bad tax rate", func(sc *Scenario) {
+		sc.Credit.Policies = []PolicySpec{{Kind: PolicyTax, Rate: 1.5}}
+		sc.Credit.PolicyEpoch = 0
+	})
+	check("bad demurrage threshold", func(sc *Scenario) {
+		sc.Credit.Policies = []PolicySpec{{Kind: PolicyDemurrage, Rate: 0.1, Threshold: -1}}
+	})
+	check("zero subsidy", func(sc *Scenario) {
+		sc.Credit.Policies = []PolicySpec{{Kind: PolicySubsidy, Amount: 0}}
+		sc.Credit.PolicyEpoch = 0
+	})
+	check("bad adaptive gain", func(sc *Scenario) {
+		sc.Credit.Policies = []PolicySpec{{Kind: PolicyAdaptiveTax, TargetGini: 0.3, Gain: -1}}
+	})
+	check("epoch above 1", func(sc *Scenario) { sc.Credit.PolicyEpoch = 1.5 })
+	check("epoch-driven without epoch", func(sc *Scenario) { sc.Credit.PolicyEpoch = 0 })
+	check("epoch without policies", func(sc *Scenario) {
+		sc.Credit.Policies = nil // PolicyEpoch stays set
+	})
+
+	// The same declarative validation guards streaming scenarios.
+	sc, err := Get("taxed-streaming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Credit.Policies = []PolicySpec{{Kind: PolicyKind(99)}}
+	if _, err := sc.StreamingConfig(ScaleQuick); err == nil {
+		t.Error("streaming: unknown policy kind accepted")
+	}
+	sc, _ = Get("taxed-streaming")
+	sc.Credit.Policies = []PolicySpec{{Kind: PolicyInject, Amount: 1}}
+	sc.Credit.PolicyEpoch = 0.25 // conflicts with InjectPeriod 0.1
+	if _, err := sc.StreamingConfig(ScaleQuick); err == nil {
+		t.Error("streaming: conflicting epoch clocks accepted")
+	}
+}
+
+// TestAdaptiveTaxPresetCountersCondensation runs the preset against its
+// policy-free twin: the controller must collect, redistribute everything
+// it can, and end less condensed.
+func TestAdaptiveTaxPresetCountersCondensation(t *testing.T) {
+	sc, err := Get("adaptive-tax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := Run(sc, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := sc
+	free.Credit.Policies = nil
+	free.Credit.PolicyEpoch = 0
+	unmanaged, err := Run(free, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := managed.Market
+	if r.TaxCollected == 0 || r.TaxRedistributed == 0 {
+		t.Fatalf("no controller activity: collected %d redistributed %d", r.TaxCollected, r.TaxRedistributed)
+	}
+	if r.FinalGini >= unmanaged.Market.FinalGini {
+		t.Errorf("adaptive tax did not reduce condensation: %v vs %v (free)",
+			r.FinalGini, unmanaged.Market.FinalGini)
+	}
+}
+
+// TestDemurragePresetRecirculates pins the decay preset's behavior.
+func TestDemurragePresetRecirculates(t *testing.T) {
+	sc, err := Get("demurrage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := Run(sc, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := sc
+	free.Credit.Policies = nil
+	free.Credit.PolicyEpoch = 0
+	unmanaged, err := Run(free, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := managed.Market
+	if r.TaxCollected == 0 {
+		t.Fatal("demurrage decayed nothing")
+	}
+	if r.Injected != 0 {
+		t.Errorf("demurrage minted %d credits", r.Injected)
+	}
+	if r.FinalGini >= unmanaged.Market.FinalGini {
+		t.Errorf("demurrage did not reduce condensation: %v vs %v (free)",
+			r.FinalGini, unmanaged.Market.FinalGini)
+	}
+}
+
+// TestNewcomerSubsidyPresetFundsArrivals pins the churn + pot-funded
+// subsidy composition: arrivals happen, the tax feeds the pot, grants and
+// redistribution flow, and nothing is minted.
+func TestNewcomerSubsidyPresetFundsArrivals(t *testing.T) {
+	o, err := RunNamed("newcomer-subsidy", ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := o.Market
+	if r.Joins == 0 {
+		t.Fatal("no churn arrivals; preset vacuous")
+	}
+	if r.TaxCollected == 0 || r.TaxRedistributed == 0 {
+		t.Errorf("no pot flow: collected %d redistributed %d", r.TaxCollected, r.TaxRedistributed)
+	}
+	if r.Injected != 0 {
+		t.Errorf("pot-funded preset minted %d credits", r.Injected)
+	}
+	if r.TaxRedistributed > r.TaxCollected {
+		t.Errorf("redistributed %d exceeds collected %d", r.TaxRedistributed, r.TaxCollected)
+	}
+}
+
+// TestTaxedStreamingPreset pins the protocol-level countermeasures: the
+// legacy Credit knobs compile to engine stages on the streaming workload
+// and the counters land in the streaming Result.
+func TestTaxedStreamingPreset(t *testing.T) {
+	o, err := RunNamed("taxed-streaming", ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := o.Streaming
+	if r.TaxCollected == 0 || r.TaxRedistributed == 0 {
+		t.Errorf("no taxation activity: collected %d redistributed %d", r.TaxCollected, r.TaxRedistributed)
+	}
+	if r.Injected == 0 {
+		t.Error("injection minted nothing")
+	}
+	if r.TaxRedistributed > r.TaxCollected {
+		t.Errorf("redistributed %d exceeds collected %d", r.TaxRedistributed, r.TaxCollected)
+	}
+	if r.ChunksTraded == 0 {
+		t.Error("swarm traded nothing")
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"creditp2p/internal/credit"
 	"creditp2p/internal/des"
+	"creditp2p/internal/policy"
 	"creditp2p/internal/sim"
 	"creditp2p/internal/stats"
 	"creditp2p/internal/topology"
@@ -92,6 +93,16 @@ type Config struct {
 	// O(1) per sample instead of re-sorting all N balances). Results are
 	// byte-identical to the sorting sampler.
 	IncrementalGini bool
+	// Policies are economic policy stages (income taxation,
+	// redistribution, injection, demurrage, ...) run by the kernel's
+	// policy engine — the same implementations the market workload uses.
+	// Every paid chunk transfer flows through the pipeline's income hook.
+	// Empty keeps the swarm policy-free (byte-identical to configurations
+	// predating the engine).
+	Policies []policy.Policy
+	// PolicyEpoch is the engine's epoch period in seconds for epoch-driven
+	// stages; zero disables epochs.
+	PolicyEpoch float64
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -141,6 +152,14 @@ func (c *Config) validate() error {
 			return fmt.Errorf("%w: departure of peer %d at %d outside [0, %d)", ErrBadConfig, d.ID, d.AtSecond, c.HorizonSeconds)
 		}
 	}
+	if c.PolicyEpoch < 0 || math.IsNaN(c.PolicyEpoch) {
+		return fmt.Errorf("%w: policy epoch %v", ErrBadConfig, c.PolicyEpoch)
+	}
+	for i, p := range c.Policies {
+		if p == nil {
+			return fmt.Errorf("%w: nil policy at pipeline position %d", ErrBadConfig, i)
+		}
+	}
 	return nil
 }
 
@@ -174,6 +193,11 @@ type Result struct {
 	Stalls uint64
 	// Departures counts planned peer teardowns executed.
 	Departures uint64
+	// TaxCollected and TaxRedistributed report the policy engine's
+	// taxation activity — the same counters the market Result carries.
+	TaxCollected, TaxRedistributed int64
+	// Injected counts credits minted by policy stages.
+	Injected int64
 }
 
 // speer is the streaming workload's per-peer record, parallel to the
@@ -260,8 +284,12 @@ type swarm struct {
 	// departAt maps a round to the peers torn down at its start, in
 	// Config.Departures order.
 	departAt map[int][]int32
-	order    []int32
-	res      *Result
+	// engine is the economic policy pipeline (nil when Policies is empty):
+	// paid chunk transfers route through its income hook, the kernel
+	// drives its epoch.
+	engine *policy.Engine
+	order  []int32
+	res    *Result
 }
 
 var _ sim.Workload = (*swarm)(nil)
@@ -269,6 +297,10 @@ var _ sim.Workload = (*swarm)(nil)
 // noChunk marks an empty ring slot; valid chunk ids (>= -DelaySeconds *
 // StreamRate) are always greater.
 const noChunk = math.MinInt32
+
+// potID is the ledger account holding the policy engine's pot. Overlay
+// node ids are non-negative, so -1 never collides.
+const potID = -1
 
 // freshLen is the per-peer fresh-tail mirror size (a power of two).
 const (
@@ -461,6 +493,19 @@ func newSwarm(cfg Config) (*swarm, error) {
 	}
 	s.k = k
 	k.Metrics.Gini.Name = "wealth-gini"
+	if len(cfg.Policies) > 0 {
+		// The pot is a system account outside the node-id space (overlay
+		// ids are non-negative); binding precedes the joins below so
+		// join-hook policies see the whole population.
+		pot, err := k.OpenExternal(potID, 0)
+		if err != nil {
+			return nil, err
+		}
+		s.engine = policy.NewEngine(cfg.Policies...)
+		if err := k.BindPolicies(s.engine, pot, cfg.PolicyEpoch); err != nil {
+			return nil, err
+		}
+	}
 	// Bulk-allocate the per-peer window rings and buffer-map sample lists
 	// as int32 slabs instead of 2n small allocations — half the footprint
 	// of the old int slabs, which matters because the trading pass samples
@@ -712,6 +757,14 @@ func (s *swarm) round(t int) {
 						if inWindow {
 							p.spent += price
 						}
+						if s.engine != nil {
+							// Route the seller's income through the policy
+							// pipeline (taxation, redistribution), then
+							// re-read the buyer's balance: redistribution
+							// may have credited it mid-round.
+							k.PolicyIncome(si, k.Ledger.BalanceAt(q.acct)-price, price)
+							balance = k.Ledger.BalanceAt(p.acct)
+						}
 					}
 					s.addChunk(p, bi, chunk)
 					q.upUsed++
@@ -796,5 +849,11 @@ func (s *swarm) finish() error {
 	}
 	res.GiniWealth = g
 	res.WealthGini = k.Metrics.Gini
+	if s.engine != nil {
+		t := s.engine.Totals()
+		res.TaxCollected = t.Collected
+		res.TaxRedistributed = t.Redistributed
+		res.Injected = t.Injected
+	}
 	return nil
 }
