@@ -9,6 +9,8 @@
 //	experiments -id fig7 -preset large -cpuprofile cpu.pprof
 //	experiments -scenarios
 //	experiments -scenario flash-crowd [-preset large]
+//	experiments -scenario flash-crowd -checkpoint-every 50000 -checkpoint run.snap
+//	experiments -scenario flash-crowd -restore run.snap
 //	experiments -id policy-sweep
 //	experiments -taxrates 0.05,0.1,0.2 [-preset full]
 //
@@ -23,6 +25,10 @@
 // -cpuprofile and -memprofile write pprof profiles covering the experiment
 // runs, so performance PRs can attach before/after evidence gathered
 // through the exact cmd path users run.
+//
+// -checkpoint-every N snapshots a -scenario run's full state to the
+// -checkpoint file every N events; -restore resumes a crashed run from such
+// a file and produces byte-identical output to the uninterrupted run.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"strings"
 
 	"creditp2p"
+	"creditp2p/internal/scenario"
 )
 
 func main() {
@@ -55,6 +62,9 @@ func run(args []string) error {
 	presetName := fs.String("preset", "quick", "quick, full, large or xlarge")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file after the run")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "with -scenario: snapshot the run every N events to the -checkpoint file")
+	checkpointPath := fs.String("checkpoint", "checkpoint.snap", "with -scenario: the snapshot file written by -checkpoint-every")
+	restorePath := fs.String("restore", "", "with -scenario: resume from this snapshot file instead of starting fresh")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -114,6 +124,9 @@ func run(args []string) error {
 		}
 		return creditp2p.RunPolicySweep(rates, preset, os.Stdout)
 	case *scenarioName != "":
+		if *checkpointEvery > 0 || *restorePath != "" {
+			return runScenarioResumable(*scenarioName, *presetName, *checkpointEvery, *checkpointPath, *restorePath)
+		}
 		_, err := creditp2p.RunScenario(*scenarioName, preset, os.Stdout)
 		return err
 	case *all:
@@ -124,6 +137,55 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("nothing to do: pass -list, -id, -all, -scenarios, -scenario or -taxrates")
 	}
+}
+
+// runScenarioResumable runs a scenario with checkpoint/restore: periodic
+// snapshots land in ckPath, and a non-empty restorePath resumes from its
+// contents. The completed run's report is byte-identical to the
+// uninterrupted run's.
+func runScenarioResumable(name, presetName string, every int, ckPath, restorePath string) error {
+	var scale scenario.Scale
+	switch presetName {
+	case "quick":
+		scale = scenario.ScaleQuick
+	case "full":
+		scale = scenario.ScaleFull
+	case "large":
+		scale = scenario.ScaleLarge
+	case "xlarge":
+		scale = scenario.ScaleXLarge
+	default:
+		return fmt.Errorf("unknown preset %q (want quick, full, large or xlarge)", presetName)
+	}
+	sc, err := scenario.Get(name)
+	if err != nil {
+		return err
+	}
+	rs := scenario.Resume{}
+	if every > 0 {
+		rs.CheckpointEvery = every
+		rs.Sink = func(data []byte) error {
+			// Write-then-rename so a crash mid-checkpoint leaves the
+			// previous snapshot intact instead of a torn file.
+			tmp := ckPath + ".tmp"
+			if err := os.WriteFile(tmp, data, 0o644); err != nil {
+				return err
+			}
+			return os.Rename(tmp, ckPath)
+		}
+	}
+	if restorePath != "" {
+		data, err := os.ReadFile(restorePath)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		rs.Snapshot = data
+	}
+	out, err := scenario.RunResumable(sc, scale, rs)
+	if err != nil {
+		return err
+	}
+	return out.Report(os.Stdout)
 }
 
 // parseRates parses the -taxrates grid.

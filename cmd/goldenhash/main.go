@@ -1,12 +1,24 @@
 // Command goldenhash fingerprints the simulators' outputs across a battery
 // of mechanism combinations. It exists for cross-commit byte-compatibility
 // checks during performance work: run it on two trees and diff the lines.
+//
+// With -resume, every combo instead runs the crash/restore drill: a clean
+// run counts its events, a second run crashes a third of the way in and
+// writes a snapshot, and a third process-fresh simulation restores the
+// snapshot and runs to completion. The printed hashes are the resumed
+// runs'; diffing them against the default mode's (scenario lines excluded)
+// asserts byte-identical resume for every mechanism combo. -queue and
+// -fast override the event-queue backend and the sampling mode across the
+// market combos, so the same drill covers {heap, calendar} x {exact,
+// fast-sampling} without extra case tables.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"os"
 	"sort"
 
 	"creditp2p/internal/credit"
@@ -138,7 +150,118 @@ func poisson() credit.Pricing {
 	return p
 }
 
+// runMarket produces the case's Result: a plain run by default, the
+// crash/snapshot/restore drill under -resume. Each phase rebuilds the
+// config from scratch via mk, as a real crash recovery would (the snapshot
+// restores mutable state; the config — graph, policies, pricing — is
+// reconstructed).
+func runMarket(mk func() market.Config, resume bool) (*market.Result, error) {
+	if !resume {
+		return market.Run(mk())
+	}
+	// Clean run: count the events a full run delivers.
+	m, err := market.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	events := 0
+	for m.Step() {
+		events++
+	}
+	if _, err := m.Finish(); err != nil {
+		return nil, err
+	}
+	// Crash run: stop a third of the way in and checkpoint.
+	m, err = market.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < events/3 && m.Step(); i++ {
+	}
+	data := m.Snapshot()
+	// Resume run: a fresh simulation restores the snapshot and finishes.
+	m, err = market.RestoreSim(mk(), data)
+	if err != nil {
+		return nil, err
+	}
+	m.Run()
+	return m.Finish()
+}
+
+// runStreaming is runMarket's streaming counterpart.
+func runStreaming(mk func() streaming.Config, resume bool) (*streaming.Result, error) {
+	if !resume {
+		return streaming.Run(mk())
+	}
+	m, err := streaming.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	events := 0
+	for m.Step() {
+		events++
+	}
+	if _, err := m.Finish(); err != nil {
+		return nil, err
+	}
+	m, err = streaming.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < events/3 && m.Step(); i++ {
+	}
+	data := m.Snapshot()
+	m, err = streaming.RestoreSim(mk(), data)
+	if err != nil {
+		return nil, err
+	}
+	m.Run()
+	return m.Finish()
+}
+
 func main() {
+	resume := flag.Bool("resume", false, "run every combo through the crash/snapshot/restore drill and print the resumed hashes (scenario lines omitted)")
+	queue := flag.String("queue", "", "override the market event-queue backend: heap or calendar")
+	fast := flag.Bool("fast", false, "override the market combos to Fenwick-backed fast sampling")
+	flag.Parse()
+
+	var queueKind des.QueueKind
+	switch *queue {
+	case "":
+	case "heap":
+		queueKind = des.Heap
+	case "calendar":
+		queueKind = des.Calendar
+	default:
+		fmt.Fprintf(os.Stderr, "goldenhash: unknown -queue %q (want heap or calendar)\n", *queue)
+		os.Exit(2)
+	}
+	// override applies the -queue/-fast sweep axes to a market config.
+	override := func(mk func() market.Config) func() market.Config {
+		return func() market.Config {
+			cfg := mk()
+			if *queue != "" {
+				cfg.Queue = queueKind
+			}
+			if *fast {
+				cfg.FastSampling = true
+			}
+			return cfg
+		}
+	}
+
 	tax := func() *credit.TaxPolicy {
 		t, err := credit.NewTaxPolicy(0.25, 15)
 		if err != nil {
@@ -150,21 +273,41 @@ func main() {
 	fastChurn := &market.ChurnConfig{ArrivalRate: 0.5, MeanLifespan: 150, AttachDegree: 4, FastAttach: true}
 	cases := []struct {
 		name string
-		cfg  market.Config
+		mk   func() market.Config
 	}{
-		{"baseline", market.Config{Graph: marketGraph(80, 8, 1), InitialWealth: 20, DefaultMu: 1, Horizon: 400, SnapshotTimes: []float64{100, 300}, Seed: 2}},
-		{"tax+inject", market.Config{Graph: marketGraph(80, 8, 3), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Tax: tax(), Inject: &market.InjectConfig{Amount: 2, Period: 60}, Seed: 4}},
-		{"churn", market.Config{Graph: marketGraph(80, 8, 5), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Churn: churn, Seed: 6}},
-		{"degree", market.Config{Graph: scaleFree(200, 7), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteDegreeWeighted, Seed: 8}},
-		{"degree+churn", market.Config{Graph: scaleFree(200, 9), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteDegreeWeighted, Churn: churn, Seed: 10}},
-		{"avail", market.Config{Graph: scaleFree(200, 11), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability, Seed: 12}},
-		{"avail+churn+tax", market.Config{Graph: scaleFree(200, 13), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability, Churn: churn, Tax: tax(), Seed: 14}},
-		{"freeriders", market.Config{Graph: scaleFree(200, 15), InitialWealth: 15, DefaultMu: 1, Horizon: 300, FreeRiderFrac: 0.25, Seed: 16}},
-		{"calendar+incgini", market.Config{Graph: scaleFree(400, 17), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Queue: des.Calendar, IncrementalGini: true, Churn: fastChurn, Seed: 18}},
-		{"dynamic", market.Config{Graph: marketGraph(80, 8, 19), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Spending: credit.DynamicSpending{M: 20}, Seed: 20}},
+		{"baseline", func() market.Config {
+			return market.Config{Graph: marketGraph(80, 8, 1), InitialWealth: 20, DefaultMu: 1, Horizon: 400, SnapshotTimes: []float64{100, 300}, Seed: 2}
+		}},
+		{"tax+inject", func() market.Config {
+			return market.Config{Graph: marketGraph(80, 8, 3), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Tax: tax(), Inject: &market.InjectConfig{Amount: 2, Period: 60}, Seed: 4}
+		}},
+		{"churn", func() market.Config {
+			return market.Config{Graph: marketGraph(80, 8, 5), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Churn: churn, Seed: 6}
+		}},
+		{"degree", func() market.Config {
+			return market.Config{Graph: scaleFree(200, 7), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteDegreeWeighted, Seed: 8}
+		}},
+		{"degree+churn", func() market.Config {
+			return market.Config{Graph: scaleFree(200, 9), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteDegreeWeighted, Churn: churn, Seed: 10}
+		}},
+		{"avail", func() market.Config {
+			return market.Config{Graph: scaleFree(200, 11), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability, Seed: 12}
+		}},
+		{"avail+churn+tax", func() market.Config {
+			return market.Config{Graph: scaleFree(200, 13), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability, Churn: churn, Tax: tax(), Seed: 14}
+		}},
+		{"freeriders", func() market.Config {
+			return market.Config{Graph: scaleFree(200, 15), InitialWealth: 15, DefaultMu: 1, Horizon: 300, FreeRiderFrac: 0.25, Seed: 16}
+		}},
+		{"calendar+incgini", func() market.Config {
+			return market.Config{Graph: scaleFree(400, 17), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Queue: des.Calendar, IncrementalGini: true, Churn: fastChurn, Seed: 18}
+		}},
+		{"dynamic", func() market.Config {
+			return market.Config{Graph: marketGraph(80, 8, 19), InitialWealth: 20, DefaultMu: 1, Horizon: 400, Spending: credit.DynamicSpending{M: 20}, Seed: 20}
+		}},
 	}
 	for _, c := range cases {
-		res, err := market.Run(c.cfg)
+		res, err := runMarket(override(c.mk), *resume)
 		if err != nil {
 			panic(c.name + ": " + err.Error())
 		}
@@ -173,15 +316,23 @@ func main() {
 
 	scases := []struct {
 		name string
-		cfg  streaming.Config
+		mk   func() streaming.Config
 	}{
-		{"baseline", streaming.Config{Graph: marketGraph(60, 8, 21), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, Seed: 22}},
-		{"hetero+drain", streaming.Config{Graph: marketGraph(60, 8, 23), StreamRate: 2, DelaySeconds: 6, UploadCap: 1, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, UploadCapOf: map[int]int{1: 8, 2: 8}, Departures: []streaming.Departure{{ID: 1, AtSecond: 60}, {ID: 5, AtSecond: 90}}, Seed: 24}},
-		{"incgini", streaming.Config{Graph: scaleFree(200, 25), StreamRate: 1, DelaySeconds: 10, UploadCap: 1, DownloadCap: 2, SourceSeeds: 5, InitialWealth: 12, HorizonSeconds: 150, IncrementalGini: true, Seed: 26}},
-		{"poisson-pricing", streaming.Config{Graph: marketGraph(60, 8, 27), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 20, HorizonSeconds: 150, Pricing: poisson(), Seed: 28}},
+		{"baseline", func() streaming.Config {
+			return streaming.Config{Graph: marketGraph(60, 8, 21), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, Seed: 22}
+		}},
+		{"hetero+drain", func() streaming.Config {
+			return streaming.Config{Graph: marketGraph(60, 8, 23), StreamRate: 2, DelaySeconds: 6, UploadCap: 1, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, UploadCapOf: map[int]int{1: 8, 2: 8}, Departures: []streaming.Departure{{ID: 1, AtSecond: 60}, {ID: 5, AtSecond: 90}}, Seed: 24}
+		}},
+		{"incgini", func() streaming.Config {
+			return streaming.Config{Graph: scaleFree(200, 25), StreamRate: 1, DelaySeconds: 10, UploadCap: 1, DownloadCap: 2, SourceSeeds: 5, InitialWealth: 12, HorizonSeconds: 150, IncrementalGini: true, Seed: 26}
+		}},
+		{"poisson-pricing", func() streaming.Config {
+			return streaming.Config{Graph: marketGraph(60, 8, 27), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 20, HorizonSeconds: 150, Pricing: poisson(), Seed: 28}
+		}},
 	}
 	for _, c := range scases {
-		res, err := streaming.Run(c.cfg)
+		res, err := runStreaming(c.mk, *resume)
 		if err != nil {
 			panic(c.name + ": " + err.Error())
 		}
@@ -230,18 +381,24 @@ func main() {
 	}
 	pcases := []struct {
 		name string
-		cfg  market.Config
+		mk   func() market.Config
 	}{
-		{"adaptive-tax", market.Config{Graph: scaleFree(200, 29), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability,
-			Policies: []policy.Policy{adaptive(), policy.NewRedistribute()}, PolicyEpoch: 10, Seed: 30}},
-		{"demurrage+subsidy", market.Config{Graph: scaleFree(200, 31), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Churn: fastChurn,
-			Policies: []policy.Policy{demurrage(), subsidy(true), policy.NewRedistribute()}, PolicyEpoch: 15, Seed: 32}},
-		{"binomial-tax+legacy-inject", market.Config{Graph: marketGraph(80, 8, 33), InitialWealth: 20, DefaultMu: 1, Horizon: 400,
-			Inject: &market.InjectConfig{Amount: 1, Period: 60},
-			Policies: []policy.Policy{incomeTax(), policy.NewRedistribute()}, Seed: 34}},
+		{"adaptive-tax", func() market.Config {
+			return market.Config{Graph: scaleFree(200, 29), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Routing: market.RouteAvailability,
+				Policies: []policy.Policy{adaptive(), policy.NewRedistribute()}, PolicyEpoch: 10, Seed: 30}
+		}},
+		{"demurrage+subsidy", func() market.Config {
+			return market.Config{Graph: scaleFree(200, 31), InitialWealth: 15, DefaultMu: 1, Horizon: 300, Churn: fastChurn,
+				Policies: []policy.Policy{demurrage(), subsidy(true), policy.NewRedistribute()}, PolicyEpoch: 15, Seed: 32}
+		}},
+		{"binomial-tax+legacy-inject", func() market.Config {
+			return market.Config{Graph: marketGraph(80, 8, 33), InitialWealth: 20, DefaultMu: 1, Horizon: 400,
+				Inject:   &market.InjectConfig{Amount: 1, Period: 60},
+				Policies: []policy.Policy{incomeTax(), policy.NewRedistribute()}, Seed: 34}
+		}},
 	}
 	for _, c := range pcases {
-		res, err := market.Run(c.cfg)
+		res, err := runMarket(override(c.mk), *resume)
 		if err != nil {
 			panic(c.name + ": " + err.Error())
 		}
@@ -250,21 +407,30 @@ func main() {
 
 	spcases := []struct {
 		name string
-		cfg  streaming.Config
+		mk   func() streaming.Config
 	}{
-		{"tax+inject", streaming.Config{Graph: marketGraph(60, 8, 35), StreamRate: 2, DelaySeconds: 6, UploadCap: 1, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, UploadCapOf: map[int]int{1: 8, 2: 8},
-			Policies: []policy.Policy{incomeTax(), policy.NewRedistribute(), injection()}, PolicyEpoch: 20, Seed: 36}},
-		{"demurrage+drain", streaming.Config{Graph: marketGraph(60, 8, 37), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, Departures: []streaming.Departure{{ID: 1, AtSecond: 60}},
-			Policies: []policy.Policy{demurrage(), policy.NewRedistribute()}, PolicyEpoch: 25, Seed: 38}},
+		{"tax+inject", func() streaming.Config {
+			return streaming.Config{Graph: marketGraph(60, 8, 35), StreamRate: 2, DelaySeconds: 6, UploadCap: 1, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, UploadCapOf: map[int]int{1: 8, 2: 8},
+				Policies: []policy.Policy{incomeTax(), policy.NewRedistribute(), injection()}, PolicyEpoch: 20, Seed: 36}
+		}},
+		{"demurrage+drain", func() streaming.Config {
+			return streaming.Config{Graph: marketGraph(60, 8, 37), StreamRate: 2, DelaySeconds: 6, UploadCap: 2, DownloadCap: 3, SourceSeeds: 3, InitialWealth: 12, HorizonSeconds: 150, Departures: []streaming.Departure{{ID: 1, AtSecond: 60}},
+				Policies: []policy.Policy{demurrage(), policy.NewRedistribute()}, PolicyEpoch: 25, Seed: 38}
+		}},
 	}
 	for _, c := range spcases {
-		res, err := streaming.Run(c.cfg)
+		res, err := runStreaming(c.mk, *resume)
 		if err != nil {
 			panic(c.name + ": " + err.Error())
 		}
 		fmt.Printf("streaming-policy/%-22s %016x\n", c.name, hashStreamingPolicy(res))
 	}
 
+	if *resume {
+		// Scenario presets are config sugar over the same two simulators;
+		// the drill above already covers their mechanism space.
+		return
+	}
 	for _, name := range []string{
 		"flash-crowd", "free-rider-mix", "diurnal-churn", "seeder-drain",
 		"adaptive-tax", "demurrage", "newcomer-subsidy", "taxed-streaming",

@@ -258,29 +258,31 @@ func (l *Ledger) BalanceVector(peers []int) ([]int64, error) {
 }
 
 // CheckConservation verifies the supply invariant: the sum of balances
-// equals minted - burned. It returns an error describing any mismatch; the
-// simulators assert it after every run.
+// equals minted - burned. It returns an error describing any mismatch —
+// expected vs. actual totals, the size of the discrepancy, and the first
+// offending account; the simulators assert it after every run and the
+// fault-injection auditor runs it periodically mid-run.
 func (l *Ledger) CheckConservation() error {
 	var sum int64
 	open := 0
-	for _, b := range l.bal {
+	for slot, b := range l.bal {
 		if b == noAccount {
 			continue
 		}
 		if b < 0 {
-			return fmt.Errorf("credit: negative balance %d", b)
+			return fmt.Errorf("credit: account %d (slot %d) has negative balance %d; balances must stay non-negative", l.ids[slot], slot, b)
 		}
 		sum += b
 		open++
 	}
 	if open != len(l.index) {
-		return fmt.Errorf("credit: %d open slots != %d indexed accounts", open, len(l.index))
+		return fmt.Errorf("credit: %d open slots != %d indexed accounts (off by %+d)", open, len(l.index), open-len(l.index))
 	}
 	if sum != l.total {
-		return fmt.Errorf("credit: balances sum %d != tracked total %d", sum, l.total)
+		return fmt.Errorf("credit: balances across %d accounts sum to %d, but the tracked total is %d (off by %+d credits)", open, sum, l.total, sum-l.total)
 	}
-	if l.total != l.minted-l.burned {
-		return fmt.Errorf("credit: total %d != minted %d - burned %d", l.total, l.minted, l.burned)
+	if want := l.minted - l.burned; l.total != want {
+		return fmt.Errorf("credit: tracked total %d != minted %d - burned %d = %d (off by %+d credits)", l.total, l.minted, l.burned, want, l.total-want)
 	}
 	return nil
 }

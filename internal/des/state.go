@@ -1,0 +1,220 @@
+package des
+
+import (
+	"fmt"
+	"slices"
+
+	"creditp2p/internal/snapshot"
+)
+
+// Pack encodes the handle as one word for serialization by simulations that
+// persist handles (e.g. a peer's pending spend event).
+func (h Handle) Pack() uint64 {
+	return uint64(uint32(h.slot)) | uint64(h.gen)<<32
+}
+
+// UnpackHandle is the inverse of Handle.Pack.
+func UnpackHandle(v uint64) Handle {
+	return Handle{slot: int32(uint32(v)), gen: uint32(v >> 32)}
+}
+
+// SaveState serializes the scheduler: virtual time, counters, the full slab
+// (per-field, so the layout on disk is independent of struct packing), the
+// free list, and the pending multiset as (seq, slot) pairs sorted by seq —
+// a canonical order independent of the active queue backend's internal
+// arrangement. Cancelled-but-unpopped entries are included; their lazy
+// recycling order is part of the deterministic free-list evolution.
+func (s *Scheduler) SaveState(w *snapshot.Writer) {
+	w.Section("sched")
+	w.F64(s.now)
+	w.U64(s.seq)
+	w.U64(s.fired)
+	w.U64(s.dropped)
+	w.Int(s.live)
+
+	n := len(s.slab)
+	times := make([]float64, n)
+	payloads := make([]int64, n)
+	actors := make([]int32, n)
+	gens := make([]uint32, n)
+	kinds := make([]uint16, n)
+	states := make([]uint8, n)
+	for i, nd := range s.slab {
+		times[i] = nd.time
+		payloads[i] = nd.payload
+		actors[i] = nd.actor
+		gens[i] = nd.gen
+		kinds[i] = nd.kind
+		states[i] = nd.state
+	}
+	w.F64s(times)
+	w.I64s(payloads)
+	w.I32s(actors)
+	w.U32s(gens)
+	w.U16s(kinds)
+	w.U8s(states)
+	w.I32s(s.free)
+
+	seqs, slots := s.pendingEntries()
+	w.U64s(seqs)
+	w.I32s(slots)
+}
+
+// pendingEntries collects every queued entry (live and cancelled alike)
+// from whichever backend is active, sorted ascending by seq.
+func (s *Scheduler) pendingEntries() ([]uint64, []int32) {
+	type pair struct {
+		seq  uint64
+		slot int32
+	}
+	var ps []pair
+	if s.cal != nil {
+		q := s.cal
+		for _, head := range q.heads {
+			for sl := head; sl != 0; sl = q.next[sl-1] {
+				ps = append(ps, pair{seq: q.seqs[sl-1], slot: sl})
+			}
+		}
+		for _, e := range q.drain[q.pos:] {
+			ps = append(ps, pair{seq: e.seq, slot: e.slot})
+		}
+	} else {
+		for _, e := range s.heap {
+			ps = append(ps, pair{seq: e.seq, slot: e.slot})
+		}
+	}
+	// seq values are unique, so ordering by seq alone is total.
+	slices.SortFunc(ps, func(a, b pair) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
+	seqs := make([]uint64, len(ps))
+	slots := make([]int32, len(ps))
+	for i, p := range ps {
+		seqs[i] = p.seq
+		slots[i] = p.slot
+	}
+	return seqs, slots
+}
+
+// LoadState restores a scheduler serialized by SaveState into the receiver,
+// which keeps its own queue backend: the pending set is rebuilt into either
+// backend, and both deliver the exact (time, seq) order, so resumed runs
+// are byte-identical regardless of which backend wrote the snapshot.
+func (s *Scheduler) LoadState(r *snapshot.Reader) error {
+	r.Section("sched")
+	now := r.F64()
+	seq := r.U64()
+	fired := r.U64()
+	dropped := r.U64()
+	live := r.Int()
+
+	times := r.F64s(0)
+	payloads := r.I64s(0)
+	actors := r.I32s(0)
+	gens := r.U32s(0)
+	kinds := r.U16s(0)
+	states := r.U8s(0)
+	free := r.I32s(0)
+	pendSeqs := r.U64s(0)
+	pendSlots := r.I32s(0)
+	if err := r.Err(); err != nil {
+		return err
+	}
+	n := len(times)
+	if len(payloads) != n || len(actors) != n || len(gens) != n || len(kinds) != n || len(states) != n {
+		return fmt.Errorf("des: slab field lengths disagree (%d/%d/%d/%d/%d/%d)", n, len(payloads), len(actors), len(gens), len(kinds), len(states))
+	}
+	if len(pendSeqs) != len(pendSlots) {
+		return fmt.Errorf("des: pending seq/slot lengths disagree (%d/%d)", len(pendSeqs), len(pendSlots))
+	}
+	for _, sl := range pendSlots {
+		if sl < 1 || int(sl) > n {
+			return fmt.Errorf("des: pending entry references slot %d outside the %d-slot slab", sl, n)
+		}
+	}
+	for _, sl := range free {
+		if sl < 1 || int(sl) > n {
+			return fmt.Errorf("des: free list references slot %d outside the %d-slot slab", sl, n)
+		}
+	}
+
+	s.now = now
+	s.seq = seq
+	s.fired = fired
+	s.dropped = dropped
+	s.live = live
+	s.slab = make([]node, n)
+	for i := range s.slab {
+		s.slab[i] = node{
+			time:    times[i],
+			payload: payloads[i],
+			actor:   actors[i],
+			gen:     gens[i],
+			kind:    kinds[i],
+			state:   states[i],
+		}
+	}
+	s.free = free
+
+	if s.cal != nil {
+		q := newCalendarQueue()
+		// Pre-grow the per-slot parallel arrays: push assumes slots are
+		// handed out in slab order, which does not hold when rebuilding an
+		// arbitrary pending set.
+		q.times = make([]float64, n)
+		q.seqs = make([]uint64, n)
+		q.days = make([]int64, n)
+		q.next = make([]int32, n)
+		s.cal = q
+		for i, sl := range pendSlots {
+			q.push(s.slab[sl-1].time, pendSeqs[i], sl)
+		}
+	} else {
+		s.heap = make([]heapEntry, 0, len(pendSlots))
+		for i, sl := range pendSlots {
+			s.heap = append(s.heap, heapEntry{time: s.slab[sl-1].time, seq: pendSeqs[i], slot: sl})
+			s.up(len(s.heap) - 1)
+		}
+	}
+	return nil
+}
+
+// CheckIntegrity audits the slab bookkeeping: the live counter must match
+// the number of live slots, the free list must hold exactly the free slots
+// with no duplicates, and every queued entry must reference a non-free
+// slot. It is the scheduler's contribution to the kernel's periodic
+// invariant audit.
+func (s *Scheduler) CheckIntegrity() error {
+	var liveCount, freeCount int
+	for i := range s.slab {
+		switch s.slab[i].state {
+		case slotLive:
+			liveCount++
+		case slotFree:
+			freeCount++
+		}
+	}
+	if liveCount != s.live {
+		return fmt.Errorf("des: live counter %d but %d slots are live", s.live, liveCount)
+	}
+	if len(s.free) != freeCount {
+		return fmt.Errorf("des: free list holds %d slots but %d slab slots are free", len(s.free), freeCount)
+	}
+	seen := make(map[int32]bool, len(s.free))
+	for _, sl := range s.free {
+		if sl < 1 || int(sl) > len(s.slab) {
+			return fmt.Errorf("des: free list references slot %d outside the %d-slot slab", sl, len(s.slab))
+		}
+		if seen[sl] {
+			return fmt.Errorf("des: slot %d appears twice in the free list", sl)
+		}
+		seen[sl] = true
+		if st := s.slab[sl-1].state; st != slotFree {
+			return fmt.Errorf("des: free-listed slot %d has state %d, want free", sl, st)
+		}
+	}
+	return nil
+}

@@ -444,25 +444,6 @@ func (s *swarm) OnEvent(ev des.Event) {
 	}
 }
 
-// Run executes the simulation.
-func Run(cfg Config) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
-	s, err := newSwarm(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.k.Start(); err != nil {
-		return nil, err
-	}
-	s.k.Run()
-	if err := s.finish(); err != nil {
-		return nil, err
-	}
-	return s.res, nil
-}
-
 // newSwarm builds the kernel, joins the population, resolves neighborhoods
 // and prices, and warm-starts the buffers, leaving the run ready to Start.
 // cfg must already be validated.

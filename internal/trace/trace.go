@@ -97,15 +97,21 @@ func (set *Set) WriteCSV(w io.Writer) error {
 // Set, grouping rows by series name in order of first appearance — the
 // inverse half of the CSV round-trip, for tooling that reloads recorded
 // series.
+// Malformed input is rejected with the 1-based line number and what was
+// wrong ("line 7: row has 2 fields, want 3 (series,time,value)"), so a bad
+// row in a million-line file is findable.
 func ReadCSV(r io.Reader) (*Set, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = 3
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("trace: csv header: %w", err)
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("trace: line 1: empty input, want a %q header", "series,time,value")
+		}
+		return nil, fmt.Errorf("trace: line 1: header: %w", err)
 	}
 	if header[0] != "series" || header[1] != "time" || header[2] != "value" {
-		return nil, fmt.Errorf("trace: unexpected csv header %v", header)
+		return nil, fmt.Errorf("trace: line 1: unexpected header %v, want [series time value]", header)
 	}
 	set := &Set{}
 	byName := map[string]*Series{}
@@ -115,15 +121,20 @@ func ReadCSV(r io.Reader) (*Set, error) {
 			return set, nil
 		}
 		if err != nil {
+			var pe *csv.ParseError
+			if errors.As(err, &pe) && errors.Is(pe.Err, csv.ErrFieldCount) {
+				return nil, fmt.Errorf("trace: line %d: row has %d fields, want 3 (series,time,value)", pe.Line, len(rec))
+			}
 			return nil, fmt.Errorf("trace: csv row: %w", err)
 		}
+		line, _ := cr.FieldPos(0)
 		t, err := strconv.ParseFloat(rec[1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: time %q: %w", rec[1], err)
+			return nil, fmt.Errorf("trace: line %d: time %q is not a number: %w", line, rec[1], err)
 		}
 		v, err := strconv.ParseFloat(rec[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("trace: value %q: %w", rec[2], err)
+			return nil, fmt.Errorf("trace: line %d: value %q is not a number: %w", line, rec[2], err)
 		}
 		s, ok := byName[rec[0]]
 		if !ok {

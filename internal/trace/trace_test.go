@@ -120,19 +120,36 @@ func TestCSVRoundTripEmpty(t *testing.T) {
 	}
 }
 
-// TestReadCSVRejectsGarbage pins the error paths: wrong header, malformed
-// numbers, wrong field counts.
+// TestReadCSVRejectsGarbage pins the error paths — wrong header, malformed
+// numbers, wrong field counts, empty input — and demands each error carry
+// the 1-based line number and the offending token, so a bad row in a
+// million-line file is findable from the message alone.
 func TestReadCSVRejectsGarbage(t *testing.T) {
-	for name, in := range map[string]string{
-		"bad-header":  "a,b,c\nx,1,2\n",
-		"bad-time":    "series,time,value\nx,notanumber,2\n",
-		"bad-value":   "series,time,value\nx,1,notanumber\n",
-		"bad-fields":  "series,time,value\nx,1\n",
-		"empty-input": "",
-	} {
-		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
-			t.Errorf("%s: accepted", name)
-		}
+	header := "series,time,value\n"
+	cases := map[string]struct {
+		in       string
+		wantSubs []string
+	}{
+		"empty-input":   {"", []string{"line 1", "empty input"}},
+		"bad-header":    {"a,b,c\nx,1,2\n", []string{"line 1", "unexpected header"}},
+		"short-row":     {header + "x,1,2\nx,1\n", []string{"line 3", "2 fields, want 3"}},
+		"long-row":      {header + "x,1,2,extra\n", []string{"line 2", "4 fields, want 3"}},
+		"bad-time":      {header + "x,1,2\nx,notanumber,2\n", []string{"line 3", `time "notanumber"`}},
+		"bad-value":     {header + "x,1,nope\n", []string{"line 2", `value "nope"`}},
+		"deep-bad-time": {header + "x,1,2\nx,2,3\nx,3,4\nx,oops,5\n", []string{"line 5", `time "oops"`}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatal("malformed input accepted")
+			}
+			for _, sub := range tc.wantSubs {
+				if !strings.Contains(err.Error(), sub) {
+					t.Fatalf("error %q does not mention %q", err, sub)
+				}
+			}
+		})
 	}
 }
 

@@ -18,13 +18,44 @@ import (
 // RNG is a deterministic random number generator. It is not safe for
 // concurrent use; simulators are single-threaded by design and tests that
 // need parallelism create one RNG per goroutine.
+//
+// Every stream is positionable: the generator counts source draws, so its
+// exact position is (seed, draws) and a checkpoint can fast-forward a fresh
+// stream to the same point (see state.go). This works because every sampler
+// in this package and every math/rand.Rand method funnels through the
+// single underlying source, each call advancing it by exactly one step.
 type RNG struct {
-	src *rand.Rand
+	src  *rand.Rand
+	cs   *countedSource
+	seed int64
+}
+
+// countedSource wraps the math/rand source, counting draws so the stream
+// position can be captured and replayed.
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
 }
 
 // New returns an RNG seeded with seed. Equal seeds yield equal streams.
 func New(seed int64) *RNG {
-	return &RNG{src: rand.New(rand.NewSource(seed))}
+	cs := &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{src: rand.New(cs), cs: cs, seed: seed}
 }
 
 // Split derives a new, independent RNG from the current stream. It is used
