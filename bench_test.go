@@ -15,7 +15,10 @@ import (
 	"testing"
 
 	"creditp2p/internal/core"
+	"creditp2p/internal/des"
+	"creditp2p/internal/market"
 	"creditp2p/internal/queueing"
+	"creditp2p/internal/shard"
 	"creditp2p/internal/stats"
 	"creditp2p/internal/topology"
 	"creditp2p/internal/xrand"
@@ -540,5 +543,100 @@ func BenchmarkStreamingSimXLarge(b *testing.B) {
 	reportBytesPerPeer(b, heapBase, heapAfter, 1_000_000)
 	if rss := peakRSSBytes(); rss > 0 {
 		b.ReportMetric(float64(rss)/(1<<30), "peakRSS-GB")
+	}
+}
+
+// The Shard benchmarks run the sharded multi-core kernel (internal/shard):
+// per-shard lanes with their own calendar queues and RNG streams, advancing
+// in conservative-sync windows with canonically merged cross-shard credit
+// transfers. Results are byte-identical at every shard count, so events/run
+// printed by the P=1 and P=8 variants must agree exactly — that identity is
+// part of the BENCH_7 acceptance. The overlay is built once outside the
+// timed loop, as in the legacy benchmarks above.
+
+func benchShardMarket(b *testing.B, g *topology.Graph, peers, shards int, horizon float64) {
+	b.Helper()
+	runtime.GC()
+	heapBase := heapBytesNow()
+	var heapAfter uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		w, err := market.NewShard(market.ShardConfig{Mu: 1, Amount: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := shard.Run(shard.Config{
+			Graph:         g,
+			Shards:        shards,
+			Horizon:       horizon,
+			Seed:          8,
+			InitialWealth: 20,
+			Queue:         des.Calendar,
+			Workload:      w,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+		heapAfter = heapBytesNow()
+		b.ReportMetric(float64(res.Events), "events/run")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+	}
+	reportBytesPerPeer(b, heapBase, heapAfter, peers)
+}
+
+// BenchmarkShardMarketLarge is the CI race-detector target: 100k peers at
+// four lanes, small enough to finish under -race in seconds while
+// exercising the parallel window phases and the merge path.
+func BenchmarkShardMarketLarge(b *testing.B) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 100_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchShardMarket(b, g, 100_000, 4, 20)
+}
+
+// The XLarge pair is the interleaved A/B against BenchmarkMarketSimXLarge:
+// same overlay family, population and horizon (1M scale-free peers,
+// horizon 5). P=1 measures the sharded kernel's single-lane cost; P=8 the
+// eight-lane configuration of the acceptance gate.
+
+func benchShardMarketXLarge(b *testing.B, shards int) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 1_000_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchShardMarket(b, g, 1_000_000, shards, 5)
+	if rss := peakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss)/(1<<30), "peakRSS-GB")
+	}
+}
+
+func BenchmarkShardMarketXLarge(b *testing.B)  { benchShardMarketXLarge(b, 1) }
+func BenchmarkShardMarketXLarge8(b *testing.B) { benchShardMarketXLarge(b, 8) }
+
+// BenchmarkShardMarket10M is the ten-million-peer single run. The ring
+// overlay keeps graph generation out of the interesting cost (scale-free
+// preferential attachment at 10M would dominate the bench setup), and the
+// bench fails outright if peak RSS crosses the 8 GB budget from the
+// BENCH_7 acceptance.
+func BenchmarkShardMarket10M(b *testing.B) {
+	r := xrand.New(7)
+	g, err := topology.Ring(10_000_000, 4, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchShardMarket(b, g, 10_000_000, 8, 1)
+	if rss := peakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss)/(1<<30), "peakRSS-GB")
+		if rss > 8<<30 {
+			b.Fatalf("peak RSS %.2f GB exceeds the 8 GB ten-million-peer budget", float64(rss)/(1<<30))
+		}
 	}
 }

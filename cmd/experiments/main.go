@@ -11,6 +11,7 @@
 //	experiments -scenario flash-crowd [-preset large]
 //	experiments -scenario flash-crowd -checkpoint-every 50000 -checkpoint run.snap
 //	experiments -scenario flash-crowd -restore run.snap
+//	experiments -scenario flash-crowd -preset large -shards 8
 //	experiments -id policy-sweep
 //	experiments -taxrates 0.05,0.1,0.2 [-preset full]
 //
@@ -65,6 +66,7 @@ func run(args []string) error {
 	checkpointEvery := fs.Int("checkpoint-every", 0, "with -scenario: snapshot the run every N events to the -checkpoint file")
 	checkpointPath := fs.String("checkpoint", "checkpoint.snap", "with -scenario: the snapshot file written by -checkpoint-every")
 	restorePath := fs.String("restore", "", "with -scenario: resume from this snapshot file instead of starting fresh")
+	shards := fs.Int("shards", 1, "with -scenario: run on the sharded multi-core kernel with this many lanes (1 = the classic single-threaded engines)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,6 +126,15 @@ func run(args []string) error {
 		}
 		return creditp2p.RunPolicySweep(rates, preset, os.Stdout)
 	case *scenarioName != "":
+		if *shards < 1 {
+			return fmt.Errorf("-shards %d: want a positive lane count", *shards)
+		}
+		if *shards > 1 {
+			if *checkpointEvery > 0 || *restorePath != "" {
+				return fmt.Errorf("-shards does not combine with -checkpoint-every/-restore yet (use the shard.Sim API)")
+			}
+			return runScenarioSharded(*scenarioName, *presetName, *shards)
+		}
 		if *checkpointEvery > 0 || *restorePath != "" {
 			return runScenarioResumable(*scenarioName, *presetName, *checkpointEvery, *checkpointPath, *restorePath)
 		}
@@ -139,23 +150,45 @@ func run(args []string) error {
 	}
 }
 
+// runScenarioSharded runs a scenario on the sharded multi-core kernel.
+// The report gains a "shards" row; results are byte-identical across
+// shard counts by the sharded kernel's invariance contract.
+func runScenarioSharded(name, presetName string, shards int) error {
+	scale, err := parseScale(presetName)
+	if err != nil {
+		return err
+	}
+	out, err := scenario.RunShardedNamed(name, scale, shards)
+	if err != nil {
+		return err
+	}
+	return out.Report(os.Stdout)
+}
+
+// parseScale maps the -preset flag to a scenario scale.
+func parseScale(presetName string) (scenario.Scale, error) {
+	switch presetName {
+	case "quick":
+		return scenario.ScaleQuick, nil
+	case "full":
+		return scenario.ScaleFull, nil
+	case "large":
+		return scenario.ScaleLarge, nil
+	case "xlarge":
+		return scenario.ScaleXLarge, nil
+	default:
+		return 0, fmt.Errorf("unknown preset %q (want quick, full, large or xlarge)", presetName)
+	}
+}
+
 // runScenarioResumable runs a scenario with checkpoint/restore: periodic
 // snapshots land in ckPath, and a non-empty restorePath resumes from its
 // contents. The completed run's report is byte-identical to the
 // uninterrupted run's.
 func runScenarioResumable(name, presetName string, every int, ckPath, restorePath string) error {
-	var scale scenario.Scale
-	switch presetName {
-	case "quick":
-		scale = scenario.ScaleQuick
-	case "full":
-		scale = scenario.ScaleFull
-	case "large":
-		scale = scenario.ScaleLarge
-	case "xlarge":
-		scale = scenario.ScaleXLarge
-	default:
-		return fmt.Errorf("unknown preset %q (want quick, full, large or xlarge)", presetName)
+	scale, err := parseScale(presetName)
+	if err != nil {
+		return err
 	}
 	sc, err := scenario.Get(name)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"creditp2p/internal/market"
 	"creditp2p/internal/policy"
 	"creditp2p/internal/scenario"
+	"creditp2p/internal/shard"
 	"creditp2p/internal/streaming"
 	"creditp2p/internal/topology"
 	"creditp2p/internal/trace"
@@ -194,6 +195,47 @@ func runMarket(mk func() market.Config, resume bool) (*market.Result, error) {
 	return m.Finish()
 }
 
+// runShard is runMarket's sharded-kernel counterpart: a plain run by
+// default; under -resume a clean run counts the windows, a second run
+// checkpoints a third of the way in, and a fresh engine restores and
+// finishes.
+func runShard(mk func() shard.Config, resume bool) (*shard.Result, error) {
+	if !resume {
+		return shard.Run(mk())
+	}
+	sim, err := shard.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Start(); err != nil {
+		return nil, err
+	}
+	windows := 0
+	for sim.StepWindow() {
+		windows++
+	}
+	if _, err := sim.Finish(); err != nil {
+		return nil, err
+	}
+	sim, err = shard.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Start(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < windows/3 && sim.StepWindow(); i++ {
+	}
+	data := sim.Snapshot()
+	sim, err = shard.RestoreSim(mk(), data)
+	if err != nil {
+		return nil, err
+	}
+	for sim.StepWindow() {
+	}
+	return sim.Finish()
+}
+
 // runStreaming is runMarket's streaming counterpart.
 func runStreaming(mk func() streaming.Config, resume bool) (*streaming.Result, error) {
 	if !resume {
@@ -235,6 +277,7 @@ func main() {
 	resume := flag.Bool("resume", false, "run every combo through the crash/snapshot/restore drill and print the resumed hashes (scenario lines omitted)")
 	queue := flag.String("queue", "", "override the market event-queue backend: heap or calendar")
 	fast := flag.Bool("fast", false, "override the market combos to Fenwick-backed fast sampling")
+	shards := flag.Int("shards", 1, "lane count for the shard/* lines; the sharded kernel's invariance contract makes the printed hashes identical for any value")
 	flag.Parse()
 
 	var queueKind des.QueueKind
@@ -424,6 +467,38 @@ func main() {
 			panic(c.name + ": " + err.Error())
 		}
 		fmt.Printf("streaming-policy/%-22s %016x\n", c.name, hashStreamingPolicy(res))
+	}
+
+	// Sharded-kernel fingerprints. These lines print in both modes: the
+	// default mode pins the sharded model's outputs (which must also be
+	// identical for every -shards value), and -resume runs the sharded
+	// crash/snapshot/restore drill — so the existing default-vs-resume
+	// diff covers the sharded engine too.
+	shardCases := []struct {
+		name   string
+		preset string
+	}{
+		{"market-churn", "flash-crowd"},
+		{"market-policy", "demurrage"},
+		{"streaming-tax", "taxed-streaming"},
+	}
+	for _, c := range shardCases {
+		sc, err := scenario.Get(c.preset)
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		mk := func() shard.Config {
+			cfg, err := sc.ShardConfig(scenario.ScaleQuick, *shards)
+			if err != nil {
+				panic(c.name + ": " + err.Error())
+			}
+			return cfg
+		}
+		res, err := runShard(mk, *resume)
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		fmt.Printf("shard/%-19s %016x\n", c.name, res.Fingerprint())
 	}
 
 	if *resume {

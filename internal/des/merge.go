@@ -1,0 +1,90 @@
+package des
+
+import "slices"
+
+// XEvent is one buffered cross-lane effect in the sharded kernel: a credit
+// delivery (or other workload-defined effect) produced inside a shard
+// lane's epoch window and applied at the next conservative-sync barrier.
+// The canonical ordering key is (Time, Src, Seq): the virtual time the
+// source peer emitted it, the source peer's global dense index, and the
+// source's intra-instant sequence number for effects emitted at the exact
+// same time (a streaming round buying several chunks at one tick). All
+// three components are properties of the emitting peer alone — none
+// depends on which lane the peer lives in — so the merged order, and with
+// it the entire post-merge trajectory, is invariant under the shard count.
+type XEvent struct {
+	// Time is the virtual emission time.
+	Time float64
+	// Amount is the effect magnitude (credits for a transfer).
+	Amount int64
+	// Src is the emitting peer's global dense index.
+	Src int32
+	// Dst is the receiving peer's global dense index.
+	Dst int32
+	// Seq disambiguates effects one peer emits at the same instant, in
+	// emission order.
+	Seq uint32
+	// Kind tags the effect type for workload dispatch.
+	Kind uint16
+}
+
+// xeventBefore is the canonical (Time, Src, Seq) order. Src breaks
+// same-time ties between peers and Seq within one peer's instant; a peer
+// emits at most one effect per (Time, Seq), so the order is total over any
+// one epoch's buffer.
+func xeventBefore(a, b XEvent) int {
+	switch {
+	case a.Time != b.Time:
+		if a.Time < b.Time {
+			return -1
+		}
+		return 1
+	case a.Src != b.Src:
+		if a.Src < b.Src {
+			return -1
+		}
+		return 1
+	case a.Seq != b.Seq:
+		if a.Seq < b.Seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// MergeBuffer accumulates the cross-lane effects of one epoch window and
+// hands them back in canonical order at the barrier. Each lane appends to
+// its own buffer during the window (no sharing, no locks); the coordinator
+// then merges all lanes' buffers through Collect. Buffers keep their
+// capacity across epochs, so steady-state operation allocates nothing.
+type MergeBuffer struct {
+	ev []XEvent
+}
+
+// Add appends one effect. Callers append in emission order, which within
+// one lane is already (Time, ...)-ordered; the final sort in Collect is
+// therefore nearly-sorted-merge cheap.
+func (b *MergeBuffer) Add(ev XEvent) { b.ev = append(b.ev, ev) }
+
+// Len returns the number of buffered effects.
+func (b *MergeBuffer) Len() int { return len(b.ev) }
+
+// Reset empties the buffer, keeping capacity.
+func (b *MergeBuffer) Reset() { b.ev = b.ev[:0] }
+
+// Events exposes the raw buffered slice (emission order, unsorted). The
+// slice is owned by the buffer and valid until the next Add or Reset.
+func (b *MergeBuffer) Events() []XEvent { return b.ev }
+
+// Collect merges the lanes' epoch buffers into dst in canonical
+// (Time, Src, Seq) order and returns the extended slice. The input buffers
+// are not modified; pass dst[:0] of a reused scratch slice to avoid
+// allocation in steady state.
+func Collect(dst []XEvent, lanes []*MergeBuffer) []XEvent {
+	for _, b := range lanes {
+		dst = append(dst, b.ev...)
+	}
+	slices.SortFunc(dst, xeventBefore)
+	return dst
+}

@@ -1,0 +1,212 @@
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"creditp2p/internal/des"
+	"creditp2p/internal/shard"
+	"creditp2p/internal/snapshot"
+)
+
+// ShardConfig parameterizes the market workload on the sharded kernel:
+// the paper's credit market reduced to its open-loop core. Every live
+// peer attempts a one-credit purchase after an exponential service time
+// with rate Mu, routed uniformly over its overlay neighborhood (the
+// paper's symmetric transfer matrix); the purchase fails — without retry
+// and without disturbing the attempt process — when the buyer is
+// insolvent, the chosen provider is offline as of the window start, or
+// the provider is a free rider with nothing to serve. Free riders
+// (Sec. VI-B) keep buying but never earn, so they drain to bankruptcy
+// unless a redistribution policy feeds them.
+//
+// Open-loop attempts are what make the workload shard-count-invariant:
+// every decision a peer makes depends only on its own stream, its own
+// balance, and window-start liveness — never on another lane's
+// mid-window state.
+type ShardConfig struct {
+	// Mu is the per-peer spend-attempt rate (attempts per second).
+	Mu float64
+	// Amount is the credits transferred per successful purchase.
+	Amount int64
+	// FreeRiderFrac is the fraction of peers that serve nothing,
+	// assigned by per-peer Bernoulli draws at setup.
+	FreeRiderFrac float64
+}
+
+// ShardMarket implements shard.Workload for ShardConfig. Build with
+// NewShard and pass as Config.Workload.
+type ShardMarket struct {
+	cfg ShardConfig
+	e   *shard.Engine
+	// fr marks free riders (static after setup, derived from each peer's
+	// stream prefix).
+	fr []uint64
+	// pend holds each live peer's next attempt event for churn retire.
+	pend []des.Handle
+	// per-lane counters, summed into Result.Counters at finish.
+	lanes []shardMarketCounters
+}
+
+type shardMarketCounters struct {
+	attempts      uint64
+	purchases     uint64
+	failInsolvent uint64
+	failOffline   uint64
+	failFreeRider uint64
+	failIsolated  uint64
+}
+
+// NewShard builds the sharded market workload.
+func NewShard(cfg ShardConfig) (*ShardMarket, error) {
+	if cfg.Mu <= 0 {
+		return nil, fmt.Errorf("%w: Mu=%v", ErrBadConfig, cfg.Mu)
+	}
+	if cfg.Amount <= 0 {
+		return nil, fmt.Errorf("%w: Amount=%d", ErrBadConfig, cfg.Amount)
+	}
+	if cfg.FreeRiderFrac < 0 || cfg.FreeRiderFrac > 1 {
+		return nil, fmt.Errorf("%w: FreeRiderFrac=%v", ErrBadConfig, cfg.FreeRiderFrac)
+	}
+	return &ShardMarket{cfg: cfg}, nil
+}
+
+// Setup assigns free-rider roles by one Bernoulli draw per peer, in
+// index order, from each peer's own stream — a fixed stream prefix that
+// replays identically when an engine is rebuilt for restore.
+func (m *ShardMarket) Setup(e *shard.Engine) error {
+	m.e = e
+	n := e.N()
+	m.fr = make([]uint64, (n+63)/64)
+	m.pend = make([]des.Handle, n)
+	m.lanes = make([]shardMarketCounters, e.Shards())
+	if m.cfg.FreeRiderFrac > 0 {
+		for g := 0; g < n; g++ {
+			if e.Rand(int32(g)).Bernoulli(m.cfg.FreeRiderFrac) {
+				m.fr[g>>6] |= 1 << (uint(g) & 63)
+			}
+		}
+	}
+	return nil
+}
+
+func (m *ShardMarket) freeRider(g int32) bool {
+	return m.fr[g>>6]&(1<<(uint(g)&63)) != 0
+}
+
+// Arm schedules peer g's first attempt.
+func (m *ShardMarket) Arm(ln *shard.Lane, g int32) {
+	delay := m.e.Rand(g).Exponential(m.cfg.Mu)
+	m.pend[g] = ln.ScheduleAt(ln.Now()+delay, shard.KindUser, g, 0)
+}
+
+// OnEvent handles one spend attempt: pick a provider uniformly from the
+// neighborhood, transfer on success, and always schedule the next
+// attempt — bankrupt peers keep attempting, which is what lets
+// redistribution revive them.
+func (m *ShardMarket) OnEvent(ln *shard.Lane, ev des.Event) {
+	g := ev.Actor
+	r := m.e.Rand(g)
+	c := &m.lanes[ln.S]
+	c.attempts++
+	nbrs := m.e.Neighbors(g)
+	if len(nbrs) == 0 {
+		c.failIsolated++
+	} else {
+		dst := nbrs[r.Intn(len(nbrs))]
+		switch {
+		case !m.e.AliveEpoch(dst):
+			c.failOffline++
+		case m.freeRider(dst):
+			c.failFreeRider++
+		case !ln.Spend(ev.Time, g, dst, 0, m.cfg.Amount):
+			c.failInsolvent++
+		default:
+			c.purchases++
+		}
+	}
+	delay := r.Exponential(m.cfg.Mu)
+	m.pend[g] = ln.ScheduleAt(ev.Time+delay, shard.KindUser, g, 0)
+}
+
+// Retire cancels the departing peer's pending attempt.
+func (m *ShardMarket) Retire(ln *shard.Lane, g int32) {
+	ln.Cancel(m.pend[g])
+	m.pend[g] = des.Handle{}
+}
+
+// Finish sums the per-lane counters into the result.
+func (m *ShardMarket) Finish(res *shard.Result) {
+	var t shardMarketCounters
+	for _, c := range m.lanes {
+		t.attempts += c.attempts
+		t.purchases += c.purchases
+		t.failInsolvent += c.failInsolvent
+		t.failOffline += c.failOffline
+		t.failFreeRider += c.failFreeRider
+		t.failIsolated += c.failIsolated
+	}
+	res.Counters["attempts"] = t.attempts
+	res.Counters["purchases"] = t.purchases
+	res.Counters["fail_insolvent"] = t.failInsolvent
+	res.Counters["fail_offline"] = t.failOffline
+	res.Counters["fail_freerider"] = t.failFreeRider
+	res.Counters["fail_isolated"] = t.failIsolated
+}
+
+// Digest folds the workload configuration for snapshot compatibility.
+func (m *ShardMarket) Digest() uint64 {
+	h := uint64(0x6d61726b6574) // "market"
+	h = h*1099511628211 ^ math.Float64bits(m.cfg.Mu)
+	h = h*1099511628211 ^ uint64(m.cfg.Amount)
+	h = h*1099511628211 ^ math.Float64bits(m.cfg.FreeRiderFrac)
+	return h
+}
+
+// SaveState serializes pending handles and counters; the free-rider map
+// is replayed from the stream prefixes at rebuild and needs no bytes.
+func (m *ShardMarket) SaveState(w *snapshot.Writer) {
+	w.Section("mkshard")
+	hs := make([]uint64, len(m.pend))
+	for i, h := range m.pend {
+		hs[i] = h.Pack()
+	}
+	w.U64s(hs)
+	w.Int(len(m.lanes))
+	for _, c := range m.lanes {
+		w.U64(c.attempts)
+		w.U64(c.purchases)
+		w.U64(c.failInsolvent)
+		w.U64(c.failOffline)
+		w.U64(c.failFreeRider)
+		w.U64(c.failIsolated)
+	}
+}
+
+// LoadState restores the workload at the same shard count.
+func (m *ShardMarket) LoadState(r *snapshot.Reader) error {
+	r.Section("mkshard")
+	hs := r.U64s(len(m.pend))
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(hs) != len(m.pend) {
+		return fmt.Errorf("market: shard snapshot has %d pending handles, want %d", len(hs), len(m.pend))
+	}
+	for i, v := range hs {
+		m.pend[i] = des.UnpackHandle(v)
+	}
+	if got := r.Int(); got != len(m.lanes) {
+		return fmt.Errorf("market: shard snapshot has %d lane counter sets, want %d", got, len(m.lanes))
+	}
+	for i := range m.lanes {
+		c := &m.lanes[i]
+		c.attempts = r.U64()
+		c.purchases = r.U64()
+		c.failInsolvent = r.U64()
+		c.failOffline = r.U64()
+		c.failFreeRider = r.U64()
+		c.failIsolated = r.U64()
+	}
+	return r.Err()
+}

@@ -25,6 +25,7 @@ import (
 	"creditp2p/internal/des"
 	"creditp2p/internal/market"
 	"creditp2p/internal/policy"
+	"creditp2p/internal/shard"
 	"creditp2p/internal/streaming"
 	"creditp2p/internal/topology"
 	"creditp2p/internal/trace"
@@ -652,8 +653,8 @@ func (sc Scenario) StreamingConfig(scale Scale) (streaming.Config, error) {
 	return cfg, nil
 }
 
-// Outcome is the result of running a scenario: exactly one of Market and
-// Streaming is set, plus the compiled size for context.
+// Outcome is the result of running a scenario: exactly one of Market,
+// Streaming and Shard is set, plus the compiled size for context.
 type Outcome struct {
 	Name      string
 	Scale     Scale
@@ -661,6 +662,10 @@ type Outcome struct {
 	Horizon   float64
 	Market    *market.Result
 	Streaming *streaming.Result
+	// Shards and Shard are set when the run used the sharded kernel
+	// (RunSharded with shards > 1).
+	Shards int
+	Shard  *shard.Result
 }
 
 // Events returns the run's throughput denominator: credit transfers for
@@ -671,6 +676,9 @@ func (o *Outcome) Events() uint64 {
 	}
 	if o.Streaming != nil {
 		return o.Streaming.ChunksTraded
+	}
+	if o.Shard != nil {
+		return o.Shard.Transfers
 	}
 	return 0
 }
@@ -742,6 +750,9 @@ func (o *Outcome) Report(w io.Writer) error {
 		tab.AddRow("tax collected / redistributed", fmt.Sprintf("%d / %d", r.TaxCollected, r.TaxRedistributed))
 		tab.AddRow("injected", fmt.Sprint(r.Injected))
 		set.Add(r.WealthGini)
+	case o.Shard != nil:
+		o.reportShard(&tab)
+		set.Add(o.Shard.Gini)
 	}
 	if err := tab.Write(w); err != nil {
 		return err
@@ -754,9 +765,16 @@ func (o *Outcome) Report(w io.Writer) error {
 			return err
 		}
 	}
-	if o.Market != nil && o.Market.Population.Len() > 1 {
+	var popSeries *trace.Series
+	switch {
+	case o.Market != nil:
+		popSeries = o.Market.Population
+	case o.Shard != nil:
+		popSeries = o.Shard.Population
+	}
+	if popSeries != nil && popSeries.Len() > 1 {
 		var pop trace.Set
-		pop.Add(o.Market.Population)
+		pop.Add(popSeries)
 		if _, err := fmt.Fprintln(w); err != nil {
 			return err
 		}

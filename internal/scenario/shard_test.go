@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"creditp2p/internal/shard"
+)
+
+// TestShardScenarioCountInvariance compiles real presets — one market,
+// one streaming — onto the sharded kernel at quick scale and requires
+// byte-identical results for every shard count. This is the
+// scenario-layer end of the contract the shard package's own matrix
+// tests pin on hand-built configs: the preset → ShardConfig compilation
+// (topology build, churn derivation, policy pipeline, workload mapping)
+// must not smuggle any lane-layout dependence into the run.
+func TestShardScenarioCountInvariance(t *testing.T) {
+	for _, name := range []string{"flash-crowd", "taxed-streaming"} {
+		sc, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(p int) *shard.Result {
+			cfg, err := sc.ShardConfig(ScaleQuick, p)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", name, p, err)
+			}
+			res, err := shard.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", name, p, err)
+			}
+			return res
+		}
+		base := run(1)
+		if base.Events == 0 || base.Transfers == 0 {
+			t.Fatalf("%s: degenerate baseline: %+v", name, base)
+		}
+		for _, p := range []int{2, 4, 8} {
+			got := run(p)
+			if got.Fingerprint() != base.Fingerprint() {
+				t.Errorf("%s: P=%d fingerprint %016x != P=1 %016x\nbase: %+v\n got: %+v",
+					name, p, got.Fingerprint(), base.Fingerprint(), base, got)
+			}
+		}
+	}
+}
+
+// TestRunShardedReport runs a preset through the public sharded entry
+// point and checks the report carries the shard rows.
+func TestRunShardedReport(t *testing.T) {
+	out, err := RunShardedNamed("flash-crowd", ScaleQuick, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shards != 4 || out.Shard == nil {
+		t.Fatalf("outcome not sharded: %+v", out)
+	}
+	var sb strings.Builder
+	if err := out.Report(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{"shards", "4", "lost in flight", "final wealth Gini"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q:\n%s", want, text)
+		}
+	}
+	if out.Events() != out.Shard.Transfers {
+		t.Fatalf("Events() %d != shard transfers %d", out.Events(), out.Shard.Transfers)
+	}
+}
+
+// TestRunShardedFallsBackToLegacy pins that shards <= 1 routes to the
+// classic single-threaded engines, preserving their byte-identical
+// outputs (the goldenhash base lines).
+func TestRunShardedFallsBackToLegacy(t *testing.T) {
+	sc, err := Get("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Run(sc, ScaleQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSharded, err := RunSharded(sc, ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSharded.Shard != nil {
+		t.Fatal("shards=1 took the sharded path instead of the legacy engines")
+	}
+	if a, b := fingerprint(t, legacy), fingerprint(t, viaSharded); a != b {
+		t.Fatalf("legacy fallback diverged: %s vs %s", a, b)
+	}
+}

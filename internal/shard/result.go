@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"math"
+	"sort"
+
+	"creditp2p/internal/trace"
+)
+
+// Result is a sharded run's outcome. Every field except Shards is
+// shard-count-invariant: the same seed and config must produce the same
+// Result — and therefore the same Fingerprint — at any P. Fields that
+// describe the partitioning rather than the economy live in Stats, not
+// here, so the invariance contract stays testable with one equality
+// check.
+type Result struct {
+	// N is the peer-slot count.
+	N int
+	// Shards is the lane count the run used; excluded from Fingerprint.
+	Shards int
+	// Horizon is the simulated duration.
+	Horizon float64
+	// Events counts delivered discrete events across all lanes.
+	Events uint64
+	// Transfers counts credit transfers emitted (applied or lost).
+	Transfers uint64
+	// Joins / Departures count lifecycle transitions.
+	Joins, Departures uint64
+	// LostInFlight counts transfers whose recipient departed before the
+	// barrier; LostAmount is the credits burned that way.
+	LostInFlight uint64
+	LostAmount   int64
+	// Minted / Burned are total credits created and destroyed.
+	Minted, Burned int64
+	// Pot is the shared policy pot's final balance.
+	Pot int64
+	// FinalSupply is circulating credits plus pot at the horizon.
+	FinalSupply int64
+	// FinalPopulation is the live-peer count at the horizon.
+	FinalPopulation int
+	// FinalGini is the wealth Gini over live peers at the horizon.
+	FinalGini float64
+	// TaxCollected / TaxRedistributed / Injected are the policy engine's
+	// flow totals.
+	TaxCollected, TaxRedistributed, Injected int64
+	// Gini / Population / Supply are the barrier-sampled time series.
+	Gini, Population, Supply *trace.Series
+	// Counters holds workload-specific totals keyed by stable names.
+	Counters map[string]uint64
+}
+
+// Fingerprint folds every shard-count-invariant field into one FNV-1a
+// hash — the quantity the determinism matrix and the goldenhash harness
+// compare across shard counts, seeds and resumes.
+func (r *Result) Fingerprint() uint64 {
+	h := fnvOffset
+	h = fnvU64(h, uint64(r.N))
+	h = fnvU64(h, math.Float64bits(r.Horizon))
+	h = fnvU64(h, r.Events)
+	h = fnvU64(h, r.Transfers)
+	h = fnvU64(h, r.Joins)
+	h = fnvU64(h, r.Departures)
+	h = fnvU64(h, r.LostInFlight)
+	h = fnvU64(h, uint64(r.LostAmount))
+	h = fnvU64(h, uint64(r.Minted))
+	h = fnvU64(h, uint64(r.Burned))
+	h = fnvU64(h, uint64(r.Pot))
+	h = fnvU64(h, uint64(r.FinalSupply))
+	h = fnvU64(h, uint64(r.FinalPopulation))
+	h = fnvU64(h, math.Float64bits(r.FinalGini))
+	h = fnvU64(h, uint64(r.TaxCollected))
+	h = fnvU64(h, uint64(r.TaxRedistributed))
+	h = fnvU64(h, uint64(r.Injected))
+	h = fnvSeries(h, r.Gini)
+	h = fnvSeries(h, r.Population)
+	h = fnvSeries(h, r.Supply)
+	keys := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h = fnvStr(h, k)
+		h = fnvU64(h, r.Counters[k])
+	}
+	return h
+}
+
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func fnvStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvSeries(h uint64, s *trace.Series) uint64 {
+	if s == nil {
+		return fnvU64(h, 0)
+	}
+	h = fnvU64(h, uint64(s.Len()))
+	for i := range s.Times {
+		h = fnvU64(h, math.Float64bits(s.Times[i]))
+		h = fnvU64(h, math.Float64bits(s.Values[i]))
+	}
+	return h
+}

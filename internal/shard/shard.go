@@ -1,0 +1,886 @@
+// Package shard is the multi-core simulation kernel: it partitions the
+// peer population, the overlay topology and the event calendar into P
+// per-shard lanes that advance in lockstep windows under a conservative
+// synchronization boundary, so one run uses P cores while staying
+// deterministic — and, stronger, shard-count-invariant.
+//
+// # Execution model
+//
+// Peers are split into P contiguous index blocks (topology.Partition).
+// Each lane owns its block's state — balances, per-peer random streams,
+// liveness flags, a des.Scheduler holding only its peers' events — and
+// runs the discrete-event loop for one fixed window [t, t+W) with no
+// access to any other lane's mutable state. Effects that reach another
+// peer (credit payments, always; a peer never mutates a neighbor
+// directly) are buffered as des.XEvents in per-destination-shard merge
+// buffers. At the window barrier the buffered effects are applied in the
+// canonical (time, source peer, intra-instant seq) order, lifecycle
+// deltas are folded into the shared epoch-liveness bitmap, policy epochs
+// fire, and metrics sample — then every lane proceeds into the next
+// window together. This is classic conservative synchronization with a
+// fixed lookahead of W: no lane ever observes an effect "from the
+// future" of another lane, because all cross-peer effects materialize
+// only at barriers.
+//
+// # Determinism and shard-count invariance
+//
+// Two properties are maintained, both pinned by tests:
+//
+//  1. Same seed, same config, same P → byte-identical results, regardless
+//     of goroutine scheduling. Lanes share no mutable state inside a
+//     window, and every barrier step is ordered canonically.
+//  2. Same seed, same config, *different* P → byte-identical results.
+//     Every stochastic decision is drawn from the deciding peer's own
+//     xrand.SplitMix64 stream (seeded from the run seed and the peer's
+//     global index), every cross-peer read goes through the epoch
+//     bitmap (state as of the window start — equally stale for a
+//     same-shard neighbor as for a remote one), and every cross-peer
+//     write is buffered to the barrier in an order keyed only by
+//     peer-local quantities. Nothing observable depends on where the
+//     shard boundaries fall, so P is purely a performance knob.
+//
+// The price of invariance is a bounded staleness semantics: a payment
+// lands in the recipient's balance at the next barrier (not
+// mid-window), and routing sees liveness as of the window start. Both
+// are the standard conservative-parallel-simulation trade and are part
+// of this engine's model definition, not an approximation of the
+// single-threaded kernel: Shards=1 runs the exact same model through
+// the exact same code path and produces the exact same bytes as any
+// other shard count.
+//
+// Cross-shard credit still flows through the policy engine's shared-pot
+// policy.Host surface: income hooks run per merged transfer at the
+// barrier, epoch hooks at their quantized epoch marks, so tax,
+// demurrage, subsidy and injection policies run unchanged.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"creditp2p/internal/des"
+	"creditp2p/internal/policy"
+	"creditp2p/internal/snapshot"
+	"creditp2p/internal/topology"
+	"creditp2p/internal/trace"
+	"creditp2p/internal/xrand"
+)
+
+// ErrBadConfig reports an invalid engine configuration.
+var ErrBadConfig = errors.New("shard: invalid config")
+
+// Engine-owned event kinds; workloads use KindUser and above.
+const (
+	// KindDepart is a lifecycle event: the peer goes offline, its balance
+	// burns.
+	KindDepart uint16 = 1
+	// KindRejoin is a lifecycle event: the peer comes back with a fresh
+	// endowment.
+	KindRejoin uint16 = 2
+	// KindUser is the first workload-defined event kind.
+	KindUser uint16 = 16
+)
+
+// ChurnConfig is the sharded kernel's peer-lifecycle model: each peer
+// alternates between online spells of mean MeanLifespan and offline
+// spells of mean MeanDowntime (both exponential, drawn from the peer's
+// own stream, so lifecycles are shard-count-invariant). Departure burns
+// the peer's balance; rejoining mints a fresh endowment — the same
+// open-economy supply dynamics as the single-threaded kernel's churn,
+// over a fixed peer-slot population.
+type ChurnConfig struct {
+	MeanLifespan float64
+	MeanDowntime float64
+}
+
+// Enabled reports whether the lifecycle process runs.
+func (c ChurnConfig) Enabled() bool { return c.MeanLifespan > 0 && c.MeanDowntime > 0 }
+
+// Workload is the per-lane behavior the engine drives — the sharded
+// analogs of the single-threaded kernel's sim.Workload. All hooks run on
+// the lane that owns the peer; implementations must confine themselves to
+// the peer's own state, the engine's epoch-consistent views, and the
+// peer's own random stream.
+type Workload interface {
+	// Setup allocates global workload state. It runs single-threaded
+	// before any lane starts; per-peer stream draws made here (role
+	// assignment) count as part of each peer's deterministic stream
+	// prefix.
+	Setup(e *Engine) error
+	// Arm schedules peer g's initial events, at start and after a rejoin.
+	Arm(ln *Lane, g int32)
+	// OnEvent handles a workload event (Kind >= KindUser) for ev.Actor.
+	OnEvent(ln *Lane, ev des.Event)
+	// Retire cancels peer g's pending events as it departs.
+	Retire(ln *Lane, g int32)
+	// Finish folds the workload's counters into the result.
+	Finish(res *Result)
+	// Digest returns a stable identity of the workload's configuration,
+	// folded into the snapshot digest so restores refuse mismatches.
+	Digest() uint64
+	// SaveState / LoadState serialize the workload's mutable state for
+	// checkpoint/restore at a window boundary.
+	SaveState(w *snapshot.Writer)
+	LoadState(r *snapshot.Reader) error
+}
+
+// Config parameterizes a sharded run.
+type Config struct {
+	// Graph is the overlay; node ids must be dense 0..N-1. The engine
+	// snapshots it into a topology.Partition during New and drops its
+	// reference, so callers can release the graph to the collector.
+	Graph *topology.Graph
+	// Shards is the lane count P (>= 1).
+	Shards int
+	// Window is the conservative-sync window length W; 0 selects
+	// Horizon/128. W is a model parameter (it sets effect-visibility
+	// granularity), deliberately independent of P.
+	Window float64
+	// Horizon is the simulated duration.
+	Horizon float64
+	// Seed derives every stream in the run.
+	Seed int64
+	// InitialWealth is each peer's starting endowment.
+	InitialWealth int64
+	// SampleEvery is the metrics cadence, quantized up to barriers;
+	// 0 selects Horizon/100.
+	SampleEvery float64
+	// Queue selects each lane's scheduler backend.
+	Queue des.QueueKind
+	// Churn enables the peer lifecycle process.
+	Churn ChurnConfig
+	// Policies is the economic policy pipeline; hooks run at barriers.
+	Policies []policy.Policy
+	// PolicyEpoch is the engine epoch period (quantized up to barriers);
+	// 0 disables epoch hooks.
+	PolicyEpoch float64
+	// Workload is the lane behavior.
+	Workload Workload
+}
+
+// lifeEvent is one buffered lifecycle delta, applied to the epoch bitmap
+// at the barrier in (time, peer) order.
+type lifeEvent struct {
+	t float64
+	g int32
+}
+
+// Lane is one shard's execution context: the scheduler over its peers'
+// events, the per-destination-shard outboxes, the lane-local slices of
+// the metric accumulators, and scratch. Workload hooks receive the lane
+// they run on.
+type Lane struct {
+	e *Engine
+	// S is the shard index.
+	S int
+	// lo, hi bound the lane's global peer indices [lo, hi).
+	lo, hi int32
+	sched  *des.Scheduler
+	// out[d] buffers effects destined for shard d this window.
+	out []des.MergeBuffer
+	// deaths/births are this window's lifecycle deltas.
+	deaths, births []lifeEvent
+	// hist is the lane's balance histogram over its live peers: hist[b]
+	// live peers hold exactly b credits. Merged across lanes at barriers
+	// for the exact global Gini.
+	hist []int64
+	// liveN / supply track the lane's live-peer count and balance sum.
+	liveN  int
+	supply int64
+	// minted/burned account lifecycle endowments and burns plus
+	// lost-in-flight credits applied by this lane.
+	minted, burned int64
+	// transfers / crossTransfers / lost count applied effects.
+	transfers, crossTransfers, lostCount uint64
+	lostAmount                           int64
+}
+
+// Engine coordinates P lanes through lockstep windows.
+type Engine struct {
+	cfg  Config
+	part *topology.Partition
+	n    int
+	p    int
+
+	window      float64
+	horizon     float64
+	sampleEvery float64
+	polEpoch    float64
+
+	// Global per-peer state, partitioned by index range: inside a window
+	// each slice element is touched only by its owner lane.
+	bal   []int64
+	rng   []xrand.SplitMix64
+	flags []uint8 // bit 0: currently alive (owner-lane view)
+
+	// aliveEpoch is the shared liveness bitmap as of the window start:
+	// written only at barriers, read freely by every lane during the
+	// window. All routing-time liveness checks go through it — for local
+	// and remote peers alike — which is what makes routing outcomes
+	// shard-count-invariant.
+	aliveEpoch []uint64
+
+	lanes []*Lane
+
+	// Coordinator state (barrier-only).
+	now        float64
+	bNow       float64 // barrier time policy hooks observe as Now()
+	running    bool    // policy.Host.Running: started and not finished
+	nextSample float64
+	nextPol    float64
+	pot        int64
+	engine     *policy.Engine
+	polRNG     *xrand.RNG
+	joins      uint64
+	departures uint64
+	windows    uint64
+
+	gini       *trace.Series
+	population *trace.Series
+	supply     *trace.Series
+
+	// barrier scratch
+	lifeScratch []lifeEvent
+	mergeAll    []des.XEvent
+
+	started  bool
+	finished bool
+}
+
+const aliveBit = uint8(1)
+
+// New validates the configuration and builds an engine. Call Start (or
+// Run) to arm the initial events; a freshly built engine is also the
+// target of a state restore.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("%w: Shards=%d", ErrBadConfig, cfg.Shards)
+	}
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("%w: nil graph", ErrBadConfig)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("%w: Horizon=%v", ErrBadConfig, cfg.Horizon)
+	}
+	if cfg.InitialWealth < 0 {
+		return nil, fmt.Errorf("%w: InitialWealth=%d", ErrBadConfig, cfg.InitialWealth)
+	}
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("%w: nil workload", ErrBadConfig)
+	}
+	if cfg.Window < 0 || cfg.Window > cfg.Horizon {
+		return nil, fmt.Errorf("%w: Window=%v with Horizon=%v", ErrBadConfig, cfg.Window, cfg.Horizon)
+	}
+	if (cfg.Churn.MeanLifespan > 0) != (cfg.Churn.MeanDowntime > 0) {
+		return nil, fmt.Errorf("%w: churn needs both MeanLifespan and MeanDowntime (got %+v)", ErrBadConfig, cfg.Churn)
+	}
+	part, err := topology.NewPartition(cfg.Graph, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		part:    part,
+		n:       part.N(),
+		p:       cfg.Shards,
+		window:  cfg.Window,
+		horizon: cfg.Horizon,
+	}
+	// The partition snapshot replaces the graph; drop the engine's
+	// reference so a caller-released graph is collectable.
+	e.cfg.Graph = nil
+	if e.window == 0 {
+		e.window = e.horizon / 128
+	}
+	e.sampleEvery = cfg.SampleEvery
+	if e.sampleEvery <= 0 {
+		e.sampleEvery = e.horizon / 100
+	}
+	e.polEpoch = cfg.PolicyEpoch
+	if len(cfg.Policies) > 0 {
+		e.engine = policy.NewEngine(cfg.Policies...)
+	}
+
+	e.bal = make([]int64, e.n)
+	e.rng = make([]xrand.SplitMix64, e.n)
+	e.flags = make([]uint8, e.n)
+	e.aliveEpoch = make([]uint64, (e.n+63)/64)
+	for i := 0; i < e.n; i++ {
+		e.rng[i] = xrand.NewSplitMix64(cfg.Seed, int64(i))
+		e.bal[i] = cfg.InitialWealth
+		e.flags[i] = aliveBit
+		e.aliveEpoch[i>>6] |= 1 << (uint(i) & 63)
+	}
+	e.lanes = make([]*Lane, e.p)
+	for s := 0; s < e.p; s++ {
+		lo, hi := part.Range(s)
+		ln := &Lane{
+			e:     e,
+			S:     s,
+			lo:    lo,
+			hi:    hi,
+			sched: des.NewSchedulerKind(cfg.Queue),
+			out:   make([]des.MergeBuffer, e.p),
+			liveN: int(hi - lo),
+		}
+		ln.supply = int64(hi-lo) * cfg.InitialWealth
+		ln.minted = ln.supply
+		ln.growHist(cfg.InitialWealth)
+		ln.hist[cfg.InitialWealth] = int64(hi - lo)
+		e.lanes[s] = ln
+	}
+	e.polRNG = xrand.New(cfg.Seed ^ 0x5ca1ab1e)
+	e.gini = trace.NewSeries("gini")
+	e.population = trace.NewSeries("population")
+	e.supply = trace.NewSeries("supply")
+	e.nextSample = 0
+	e.nextPol = e.polEpoch
+	if err := cfg.Workload.Setup(e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Start arms every peer's initial events and records the t=0 sample.
+func (e *Engine) Start() error {
+	if e.started {
+		return errors.New("shard: already started")
+	}
+	e.started = true
+	// The initial population joins with Running() false, mirroring the
+	// single-threaded kernels' OnJoin contract.
+	if e.engine != nil {
+		h := &engineHost{e: e}
+		for g := int32(0); g < int32(e.n); g++ {
+			e.engine.Joined(h, g)
+		}
+	}
+	e.running = true
+	// Arming is deterministic per lane (ascending index); lifecycle draws
+	// precede workload draws so each peer's stream prefix is fixed.
+	for _, ln := range e.lanes {
+		for g := ln.lo; g < ln.hi; g++ {
+			if e.cfg.Churn.Enabled() {
+				ln.schedule(e.rng[g].Exponential(1/e.cfg.Churn.MeanLifespan), KindDepart, g, 0)
+			}
+			e.cfg.Workload.Arm(ln, g)
+		}
+	}
+	e.sample(0)
+	e.nextSample = e.sampleEvery
+	return nil
+}
+
+// StepWindow advances one conservative-sync window: parallel lane
+// execution to the next barrier, canonical effect merge, lifecycle and
+// policy processing, sampling. It reports false once the horizon is
+// reached.
+func (e *Engine) StepWindow() bool {
+	if !e.started || e.now >= e.horizon {
+		return false
+	}
+	tEnd := e.now + e.window
+	if tEnd > e.horizon {
+		tEnd = e.horizon
+	}
+	e.bNow = tEnd
+	// Phase 1: every lane drains its events in [now, tEnd] in parallel.
+	// Lanes only touch their own partition of the peer state plus the
+	// read-only epoch views, so the goroutine schedule cannot influence
+	// results.
+	e.parallel(func(ln *Lane) {
+		for d := range ln.out {
+			ln.out[d].Reset()
+		}
+		ln.sched.RunUntil(tEnd, ln.dispatch)
+	})
+	// Phase 2: apply buffered effects. Without a policy pipeline each
+	// lane applies its own inbound effects in parallel (the canonical
+	// order is preserved per destination lane, and effect application on
+	// disjoint destinations commutes); with policies the income hooks
+	// touch global state (pot, any peer), so one coordinator pass applies
+	// the globally merged canonical sequence.
+	if e.engine == nil {
+		e.parallel(func(ln *Lane) { ln.applyInbound() })
+	} else {
+		e.applyWithPolicies()
+	}
+	// Phase 3: coordinator — lifecycle deltas into the epoch bitmap (and
+	// policy join/depart hooks), epoch hooks, samples.
+	e.barrier(tEnd)
+	e.now = tEnd
+	e.windows++
+	return true
+}
+
+// Run executes the whole horizon and finishes.
+func Run(cfg Config) (*Result, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Start(); err != nil {
+		return nil, err
+	}
+	for e.StepWindow() {
+	}
+	return e.Finish()
+}
+
+// parallel runs fn over every lane, on P goroutines when P > 1. The
+// WaitGroup gives the coordinator a happens-before edge over all lane
+// writes, and lanes one over the coordinator's barrier writes.
+func (e *Engine) parallel(fn func(ln *Lane)) {
+	if e.p == 1 {
+		fn(e.lanes[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.p)
+	for _, ln := range e.lanes {
+		go func(ln *Lane) {
+			defer wg.Done()
+			fn(ln)
+		}(ln)
+	}
+	wg.Wait()
+}
+
+// dispatch routes one event: lifecycle kinds to the engine, the rest to
+// the workload.
+func (ln *Lane) dispatch(ev des.Event) {
+	switch ev.Kind {
+	case KindDepart:
+		ln.depart(ev)
+	case KindRejoin:
+		ln.rejoin(ev)
+	default:
+		ln.e.cfg.Workload.OnEvent(ln, ev)
+	}
+}
+
+// depart takes a peer offline: burn its balance, retire its workload
+// events, schedule the rejoin, and queue the bitmap delta.
+func (ln *Lane) depart(ev des.Event) {
+	e := ln.e
+	g := ev.Actor
+	e.flags[g] &^= aliveBit
+	b := e.bal[g]
+	ln.hist[b]--
+	ln.liveN--
+	ln.supply -= b
+	ln.burned += b
+	e.bal[g] = 0
+	e.cfg.Workload.Retire(ln, g)
+	ln.schedule(e.rng[g].Exponential(1/e.cfg.Churn.MeanDowntime), KindRejoin, g, 0)
+	ln.deaths = append(ln.deaths, lifeEvent{t: ev.Time, g: g})
+}
+
+// rejoin brings a peer back online with a fresh endowment.
+func (ln *Lane) rejoin(ev des.Event) {
+	e := ln.e
+	g := ev.Actor
+	e.flags[g] |= aliveBit
+	w := e.cfg.InitialWealth
+	e.bal[g] = w
+	ln.growHist(w)
+	ln.hist[w]++
+	ln.liveN++
+	ln.supply += w
+	ln.minted += w
+	ln.schedule(e.rng[g].Exponential(1/e.cfg.Churn.MeanLifespan), KindDepart, g, 0)
+	e.cfg.Workload.Arm(ln, g)
+	ln.births = append(ln.births, lifeEvent{t: ev.Time, g: g})
+}
+
+// schedule registers an event after delay on this lane; scheduling can
+// only fail on NaN/past times, which are construction bugs here.
+func (ln *Lane) schedule(delay float64, kind uint16, actor int32, payload int64) des.Handle {
+	h, err := ln.sched.Schedule(delay, kind, actor, payload)
+	if err != nil {
+		panic(fmt.Sprintf("shard: lane %d schedule: %v", ln.S, err))
+	}
+	return h
+}
+
+// ScheduleAt registers a workload event at absolute time t for peer
+// actor.
+func (ln *Lane) ScheduleAt(t float64, kind uint16, actor int32, payload int64) des.Handle {
+	h, err := ln.sched.ScheduleAt(t, kind, actor, payload)
+	if err != nil {
+		panic(fmt.Sprintf("shard: lane %d schedule: %v", ln.S, err))
+	}
+	return h
+}
+
+// Cancel cancels a pending event scheduled on this lane.
+func (ln *Lane) Cancel(h des.Handle) { ln.sched.Cancel(h) }
+
+// Now returns the lane's current virtual time.
+func (ln *Lane) Now() float64 { return ln.sched.Now() }
+
+// growHist widens the lane histogram to cover balance b.
+func (ln *Lane) growHist(b int64) {
+	for int64(len(ln.hist)) <= b {
+		nw := int64(len(ln.hist)) * 2
+		if nw < 64 {
+			nw = 64
+		}
+		if nw <= b {
+			nw = b + 1
+		}
+		t := make([]int64, nw)
+		copy(t, ln.hist)
+		ln.hist = t
+	}
+}
+
+// histMove mirrors one balance change of a live peer on this lane.
+func (ln *Lane) histMove(before, after int64) {
+	ln.hist[before]--
+	ln.growHist(after)
+	ln.hist[after]++
+}
+
+// Spend moves amount credits from the live local peer src toward dst:
+// src's balance is debited immediately, and the credit is buffered to
+// land in dst's balance at the next barrier (or burn if dst is gone by
+// then). seq disambiguates several spends one peer makes at the same
+// instant. It reports false — consuming no state — when src cannot
+// afford the amount.
+func (ln *Lane) Spend(t float64, src, dst int32, seq uint32, amount int64) bool {
+	e := ln.e
+	if e.bal[src] < amount {
+		return false
+	}
+	pre := e.bal[src]
+	e.bal[src] = pre - amount
+	ln.histMove(pre, pre-amount)
+	ln.supply -= amount
+	ln.out[e.part.ShardOf(dst)].Add(des.XEvent{
+		Time: t, Src: src, Dst: dst, Seq: seq, Amount: amount, Kind: KindUser,
+	})
+	ln.transfers++
+	if e.part.ShardOf(dst) != ln.S {
+		ln.crossTransfers++
+	}
+	return true
+}
+
+// applyInbound applies this window's effects destined for this lane, in
+// in source-bucket order — the no-policy fast path, runnable in parallel
+// because every write lands in this lane's partition. No canonical sort is
+// needed here: without income hooks, delivery is commutative — balance
+// credits add, histogram moves compose, and the dead-destination check
+// reads alive flags that only change at barriers — so applying the buckets
+// in any order produces bit-identical state. The policy path below cannot
+// skip the sort, because income hooks observe pre-balances and the pot.
+func (ln *Lane) applyInbound() {
+	e := ln.e
+	for _, src := range e.lanes {
+		for _, xev := range src.out[ln.S].Events() {
+			ln.deliver(xev)
+		}
+	}
+}
+
+// deliver lands one merged effect: credit the destination if it is still
+// online, otherwise burn the in-flight amount.
+func (ln *Lane) deliver(xev des.XEvent) {
+	e := ln.e
+	g := xev.Dst
+	if e.flags[g]&aliveBit == 0 {
+		ln.lostCount++
+		ln.lostAmount += xev.Amount
+		ln.burned += xev.Amount
+		return
+	}
+	pre := e.bal[g]
+	e.bal[g] = pre + xev.Amount
+	ln.histMove(pre, pre+xev.Amount)
+	ln.supply += xev.Amount
+}
+
+// applyWithPolicies is the coordinator-side merge: one globally canonical
+// pass so income hooks (which may touch the pot and any peer) observe the
+// same sequence at every shard count.
+func (e *Engine) applyWithPolicies() {
+	bufs := make([]*des.MergeBuffer, 0, e.p*e.p)
+	for _, src := range e.lanes {
+		for d := range src.out {
+			bufs = append(bufs, &src.out[d])
+		}
+	}
+	e.mergeAll = des.Collect(e.mergeAll[:0], bufs)
+	h := &engineHost{e: e}
+	for _, xev := range e.mergeAll {
+		dst := e.lanes[e.part.ShardOf(xev.Dst)]
+		if e.flags[xev.Dst]&aliveBit == 0 {
+			dst.lostCount++
+			dst.lostAmount += xev.Amount
+			dst.burned += xev.Amount
+			continue
+		}
+		pre := e.bal[xev.Dst]
+		e.bal[xev.Dst] = pre + xev.Amount
+		dst.histMove(pre, pre+xev.Amount)
+		dst.supply += xev.Amount
+		e.engine.Income(h, xev.Dst, pre, xev.Amount)
+	}
+}
+
+// barrier is the coordinator step at window end tB: lifecycle deltas are
+// merged in (time, peer) order into the epoch bitmap (with policy
+// join/depart hooks), due policy epochs fire, and due samples record.
+func (e *Engine) barrier(tB float64) {
+	e.lifeScratch = e.lifeScratch[:0]
+	for _, ln := range e.lanes {
+		for _, d := range ln.deaths {
+			e.lifeScratch = append(e.lifeScratch, lifeEvent{t: d.t, g: -1 - d.g})
+		}
+		for _, b := range ln.births {
+			e.lifeScratch = append(e.lifeScratch, b)
+		}
+		e.departures += uint64(len(ln.deaths))
+		e.joins += uint64(len(ln.births))
+		ln.deaths = ln.deaths[:0]
+		ln.births = ln.births[:0]
+	}
+	sortLife(e.lifeScratch)
+	var h *engineHost
+	if e.engine != nil {
+		h = &engineHost{e: e}
+	}
+	for _, le := range e.lifeScratch {
+		if le.g < 0 { // death (encoded as -1-g)
+			g := -1 - le.g
+			e.aliveEpoch[g>>6] &^= 1 << (uint(g) & 63)
+			if h != nil {
+				e.engine.Departed(h, g)
+			}
+		} else {
+			e.aliveEpoch[le.g>>6] |= 1 << (uint(le.g) & 63)
+			if h != nil {
+				e.engine.Joined(h, le.g)
+			}
+		}
+	}
+	if e.engine != nil && e.polEpoch > 0 {
+		for e.nextPol <= tB {
+			e.engine.Epoch(h, tB)
+			e.nextPol += e.polEpoch
+		}
+	}
+	if tB >= e.nextSample || tB >= e.horizon {
+		e.sample(tB)
+		for e.nextSample <= tB {
+			e.nextSample += e.sampleEvery
+		}
+	}
+}
+
+// sortLife orders lifecycle deltas by (time, peer); deaths carry encoded
+// negative peers, so same-time same-peer pairs order death-before-birth
+// consistently (a peer cannot die and rejoin at the same instant under
+// continuous draws, but the order must still be total).
+func sortLife(ls []lifeEvent) {
+	// Insertion sort: windows carry few lifecycle deltas and the per-lane
+	// runs are already time-ordered.
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && lifeBefore(ls[j], ls[j-1]); j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+}
+
+func lifeBefore(a, b lifeEvent) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	ag, bg := a.g, b.g
+	if ag < 0 {
+		ag = -1 - ag
+	}
+	if bg < 0 {
+		bg = -1 - bg
+	}
+	if ag != bg {
+		return ag < bg
+	}
+	return a.g < b.g
+}
+
+// sample records the metric series at time t from the lane accumulators.
+func (e *Engine) sample(t float64) {
+	g, _ := e.giniNow()
+	e.gini.Add(t, g)
+	live := 0
+	var sup int64
+	for _, ln := range e.lanes {
+		live += ln.liveN
+		sup += ln.supply
+	}
+	e.population.Add(t, float64(live))
+	e.supply.Add(t, float64(sup+e.pot))
+}
+
+// giniNow computes the exact wealth Gini over all live peers by a single
+// ascending walk over the lanes' balance histograms: with cumulative
+// count n< and mass m< below value v, each of the c_v peers at v
+// contributes v·n< − m< to the pairwise-difference sum D, and
+// G = D / (n·S). All accumulation is exact int64; the final division
+// matches stats.GiniInPlace bit-for-bit on the same population.
+func (e *Engine) giniNow() (float64, bool) {
+	maxLen := 0
+	for _, ln := range e.lanes {
+		if len(ln.hist) > maxLen {
+			maxLen = len(ln.hist)
+		}
+	}
+	var d, cum, mass, n, total int64
+	for v := 0; v < maxLen; v++ {
+		var c int64
+		for _, ln := range e.lanes {
+			if v < len(ln.hist) {
+				c += ln.hist[v]
+			}
+		}
+		if c == 0 {
+			continue
+		}
+		d += c * (int64(v)*cum - mass)
+		cum += c
+		mass += c * int64(v)
+	}
+	n = cum
+	total = mass
+	if n == 0 {
+		return 0, false
+	}
+	if total == 0 {
+		return 0, true
+	}
+	return float64(d) / (float64(n) * float64(total)), true
+}
+
+// Finish verifies conservation and assembles the result.
+func (e *Engine) Finish() (*Result, error) {
+	if e.finished {
+		return nil, errors.New("shard: already finished")
+	}
+	if !e.started {
+		return nil, errors.New("shard: not started")
+	}
+	e.finished = true
+	e.running = false
+	var sup, minted, burned, lostAmt int64
+	var transfers, lost, events uint64
+	live := 0
+	for _, ln := range e.lanes {
+		sup += ln.supply
+		minted += ln.minted
+		burned += ln.burned
+		lostAmt += ln.lostAmount
+		transfers += ln.transfers
+		lost += ln.lostCount
+		events += ln.sched.Fired()
+		live += ln.liveN
+	}
+	if sup+e.pot != minted-burned {
+		return nil, fmt.Errorf("shard: conservation violated: supply %d + pot %d != minted %d - burned %d",
+			sup, e.pot, minted, burned)
+	}
+	res := &Result{
+		N:               e.n,
+		Shards:          e.p,
+		Horizon:         e.horizon,
+		Events:          events,
+		Transfers:       transfers,
+		Joins:           e.joins,
+		Departures:      e.departures,
+		LostInFlight:    lost,
+		LostAmount:      lostAmt,
+		Minted:          minted,
+		Burned:          burned,
+		Pot:             e.pot,
+		FinalSupply:     sup + e.pot,
+		FinalPopulation: live,
+		Gini:            e.gini,
+		Population:      e.population,
+		Supply:          e.supply,
+		Counters:        map[string]uint64{},
+	}
+	res.FinalGini, _ = e.giniNow()
+	if e.engine != nil {
+		t := e.engine.Totals()
+		res.TaxCollected = t.Collected
+		res.TaxRedistributed = t.Redistributed
+		res.Injected = t.Injected
+	}
+	e.cfg.Workload.Finish(res)
+	return res, nil
+}
+
+// Stats are shard-layout diagnostics — deliberately outside Result,
+// because they describe the partitioning (which varies with P), not the
+// simulated economy (which does not).
+type Stats struct {
+	Shards         int
+	Windows        uint64
+	Transfers      uint64
+	CrossTransfers uint64
+	CrossFraction  float64 // fraction of directed overlay edges crossing shards
+}
+
+// RunStats reports the engine's shard-layout diagnostics.
+func (e *Engine) RunStats() Stats {
+	st := Stats{Shards: e.p, Windows: e.windows, CrossFraction: e.part.CrossFraction()}
+	for _, ln := range e.lanes {
+		st.Transfers += ln.transfers
+		st.CrossTransfers += ln.crossTransfers
+	}
+	return st
+}
+
+// --- accessors for workloads ---
+
+// N returns the peer count.
+func (e *Engine) N() int { return e.n }
+
+// Shards returns the lane count P.
+func (e *Engine) Shards() int { return e.p }
+
+// Seed returns the run seed.
+func (e *Engine) Seed() int64 { return e.cfg.Seed }
+
+// Horizon returns the simulated duration.
+func (e *Engine) Horizon() float64 { return e.horizon }
+
+// Partition exposes the shard-segmented overlay snapshot.
+func (e *Engine) Partition() *topology.Partition { return e.part }
+
+// Rand returns peer g's stream; only g's owner lane (or single-threaded
+// setup) may advance it.
+func (e *Engine) Rand(g int32) *xrand.SplitMix64 { return &e.rng[g] }
+
+// Balance returns peer g's balance; only meaningful for the owner lane.
+func (e *Engine) Balance(g int32) int64 { return e.bal[g] }
+
+// Alive reports the owner-lane view of peer g's liveness.
+func (e *Engine) Alive(g int32) bool { return e.flags[g]&aliveBit != 0 }
+
+// AliveEpoch reports peer g's liveness as of the current window's start —
+// the epoch-consistent view every routing decision must use, local and
+// remote alike.
+func (e *Engine) AliveEpoch(g int32) bool {
+	return e.aliveEpoch[g>>6]&(1<<(uint(g)&63)) != 0
+}
+
+// Neighbors returns peer g's overlay neighborhood (ascending global
+// indices, read-only).
+func (e *Engine) Neighbors(g int32) []int32 { return e.part.Neighbors(g) }
+
+// Lanes returns the lanes' execution contexts; tests and diagnostics
+// only.
+func (e *Engine) Lanes() []*Lane { return e.lanes }

@@ -1,0 +1,146 @@
+package topology
+
+import "fmt"
+
+// Partition is a read-only CSR snapshot of a dense overlay, split into P
+// contiguous shard segments for the sharded kernel. Peers are partitioned
+// by index block — shard s owns global indices [s·block, (s+1)·block) —
+// so a lane's peer state and its segment of the adjacency arena are both
+// contiguous in memory, and resolving a peer's shard is one integer
+// division with no lookup table.
+//
+// The partition also carries the cross-edge index: per-shard counts of
+// directed edges whose endpoint lives on another shard, and the sorted
+// list of each shard's boundary peers (peers with at least one remote
+// neighbor). The counts drive the experiments report's cross-traffic
+// column; the boundary lists let diagnostics and future routing
+// optimizations reason about how much of a lane's population can interact
+// remotely at all.
+//
+// A Partition copies the adjacency out of the source Graph, so the graph
+// itself can be released after construction — at ten-million-peer scale
+// the graph's id tables and slab bookkeeping are a significant slice of
+// the memory budget that a running shard engine does not need.
+type Partition struct {
+	n     int
+	p     int
+	block int
+	// offs/nbrs are the CSR arrays over global dense indices: the
+	// neighbors of peer i are nbrs[offs[i]:offs[i+1]], ascending.
+	offs []int64
+	nbrs []int32
+	// cross[s] counts directed edges from shard s to another shard.
+	cross []int64
+	// boundary[s] lists shard s's peers with >= 1 remote neighbor,
+	// ascending.
+	boundary [][]int32
+}
+
+// NewPartition snapshots g into p contiguous shard segments. The graph's
+// node ids must be exactly 0..NumNodes()-1 (the dense form every
+// generator produces and the shard engine requires); gaps or holes are
+// rejected.
+func NewPartition(g *Graph, p int) (*Partition, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("topology: partition into %d shards", p)
+	}
+	n := g.NumNodes()
+	pt := &Partition{
+		n:        n,
+		p:        p,
+		block:    (n + p - 1) / p,
+		offs:     make([]int64, n+1),
+		cross:    make([]int64, p),
+		boundary: make([][]int32, p),
+	}
+	if n == 0 {
+		return pt, nil
+	}
+	if pt.block == 0 { // p > n
+		pt.block = 1
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		row := g.NeighborsView(i)
+		if row == nil && !g.HasNode(i) {
+			return nil, fmt.Errorf("topology: partition needs dense ids 0..%d, id %d is absent", n-1, i)
+		}
+		total += len(row)
+		pt.offs[i+1] = int64(total)
+	}
+	pt.nbrs = make([]int32, total)
+	for i := 0; i < n; i++ {
+		row := g.NeighborsView(i)
+		copy(pt.nbrs[pt.offs[i]:pt.offs[i+1]], row)
+		s := i / pt.block
+		remote := false
+		for _, nb := range row {
+			if int(nb)/pt.block != s {
+				pt.cross[s]++
+				remote = true
+			}
+		}
+		if remote {
+			pt.boundary[s] = append(pt.boundary[s], int32(i))
+		}
+	}
+	return pt, nil
+}
+
+// N returns the number of peers.
+func (pt *Partition) N() int { return pt.n }
+
+// Shards returns the shard count P.
+func (pt *Partition) Shards() int { return pt.p }
+
+// ShardOf returns the shard owning global index i.
+func (pt *Partition) ShardOf(i int32) int { return int(i) / pt.block }
+
+// Range returns shard s's global index range [lo, hi).
+func (pt *Partition) Range(s int) (lo, hi int32) {
+	l := s * pt.block
+	h := l + pt.block
+	if h > pt.n {
+		h = pt.n
+	}
+	if l > pt.n {
+		l = pt.n
+	}
+	return int32(l), int32(h)
+}
+
+// Neighbors returns peer i's ascending neighbor indices. The slice aliases
+// the partition's arena; callers must not modify it.
+func (pt *Partition) Neighbors(i int32) []int32 {
+	return pt.nbrs[pt.offs[i]:pt.offs[i+1]]
+}
+
+// Degree returns peer i's degree.
+func (pt *Partition) Degree(i int32) int {
+	return int(pt.offs[i+1] - pt.offs[i])
+}
+
+// Edges returns the number of directed adjacency entries (2x the
+// undirected edge count).
+func (pt *Partition) Edges() int64 { return int64(len(pt.nbrs)) }
+
+// CrossEdges returns the number of directed edges leaving shard s for
+// another shard.
+func (pt *Partition) CrossEdges(s int) int64 { return pt.cross[s] }
+
+// Boundary returns shard s's ascending list of peers with at least one
+// remote neighbor. The slice is owned by the partition.
+func (pt *Partition) Boundary(s int) []int32 { return pt.boundary[s] }
+
+// CrossFraction returns the fraction of directed edges that cross a shard
+// boundary — the conservative-sync engine's cross-traffic exposure.
+func (pt *Partition) CrossFraction() float64 {
+	if len(pt.nbrs) == 0 {
+		return 0
+	}
+	var c int64
+	for _, v := range pt.cross {
+		c += v
+	}
+	return float64(c) / float64(len(pt.nbrs))
+}

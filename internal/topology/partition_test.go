@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"testing"
+
+	"creditp2p/internal/xrand"
+)
+
+// TestPartitionMirrorsGraph checks that every shard segment reproduces the
+// graph's adjacency exactly and the shard ranges tile 0..N-1.
+func TestPartitionMirrorsGraph(t *testing.T) {
+	g, err := ScaleFree(ScaleFreeConfig{N: 500, MeanDegree: 8, Alpha: 2.5}, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		pt, err := NewPartition(g, p)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if pt.N() != g.NumNodes() || pt.Shards() != p {
+			t.Fatalf("P=%d: dims %d/%d", p, pt.N(), pt.Shards())
+		}
+		covered := 0
+		for s := 0; s < p; s++ {
+			lo, hi := pt.Range(s)
+			covered += int(hi - lo)
+			for i := lo; i < hi; i++ {
+				if pt.ShardOf(i) != s {
+					t.Fatalf("P=%d: ShardOf(%d) = %d, want %d", p, i, pt.ShardOf(i), s)
+				}
+			}
+		}
+		if covered != pt.N() {
+			t.Fatalf("P=%d: ranges cover %d of %d peers", p, covered, pt.N())
+		}
+		for i := 0; i < pt.N(); i++ {
+			want := g.NeighborsView(i)
+			got := pt.Neighbors(int32(i))
+			if len(got) != len(want) || pt.Degree(int32(i)) != len(want) {
+				t.Fatalf("P=%d peer %d: degree %d want %d", p, i, len(got), len(want))
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("P=%d peer %d: neighbor %d = %d want %d", p, i, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionCrossEdges checks the cross-edge index on a hand-built
+// graph where the counts are known exactly.
+func TestPartitionCrossEdges(t *testing.T) {
+	// 4 nodes in a path 0-1-2-3; P=2 splits {0,1} | {2,3}; the only
+	// crossing undirected edge is 1-2.
+	g := NewGraph()
+	for i := 0; i < 4; i++ {
+		if err := g.AddNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt, err := NewPartition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.CrossEdges(0) != 1 || pt.CrossEdges(1) != 1 {
+		t.Fatalf("cross edges %d/%d, want 1/1", pt.CrossEdges(0), pt.CrossEdges(1))
+	}
+	if got := pt.CrossFraction(); got != 2.0/6.0 {
+		t.Fatalf("cross fraction %v, want %v", got, 2.0/6.0)
+	}
+	if b := pt.Boundary(0); len(b) != 1 || b[0] != 1 {
+		t.Fatalf("boundary(0) = %v, want [1]", b)
+	}
+	if b := pt.Boundary(1); len(b) != 1 || b[0] != 2 {
+		t.Fatalf("boundary(1) = %v, want [2]", b)
+	}
+	// P=1: nothing crosses.
+	whole, err := NewPartition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.CrossEdges(0) != 0 || whole.CrossFraction() != 0 {
+		t.Fatal("P=1 partition reports cross edges")
+	}
+}
+
+// TestPartitionRejectsSparseIDs checks the dense-id requirement.
+func TestPartitionRejectsSparseIDs(t *testing.T) {
+	g := NewGraph()
+	if err := g.AddNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddNode(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartition(g, 2); err == nil {
+		t.Fatal("sparse ids accepted")
+	}
+}
+
+// TestPartitionMoreShardsThanPeers checks the degenerate P > N case.
+func TestPartitionMoreShardsThanPeers(t *testing.T) {
+	g, err := Complete(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := NewPartition(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for s := 0; s < 8; s++ {
+		lo, hi := pt.Range(s)
+		seen += int(hi - lo)
+	}
+	if seen != 3 {
+		t.Fatalf("P>N ranges cover %d of 3 peers", seen)
+	}
+}

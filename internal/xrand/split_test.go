@@ -1,0 +1,79 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSplitMixDeterministic pins that equal (seed, idx) pairs reproduce the
+// exact same stream and different indices diverge immediately.
+func TestSplitMixDeterministic(t *testing.T) {
+	a := NewSplitMix64(42, 7)
+	b := NewSplitMix64(42, 7)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("draw %d: streams diverge (%x vs %x)", i, x, y)
+		}
+	}
+	c := NewSplitMix64(42, 8)
+	d := NewSplitMix64(43, 7)
+	first := NewSplitMix64(42, 7)
+	if v := first.Next(); v == c.Next() || v == d.Next() {
+		t.Fatal("adjacent seed/index streams start identically")
+	}
+}
+
+// TestSplitMixUniform sanity-checks Float64 and Intn moments: a uniform
+// [0,1) mean of 1/2 and a uniform bucket split, loose 4-sigma tolerances.
+func TestSplitMixUniform(t *testing.T) {
+	s := NewSplitMix64(1, 0)
+	const n = 200000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+		buckets[s.Intn(10)]++
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 4*0.2887/math.Sqrt(n) {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+	for b, c := range buckets {
+		if math.Abs(float64(c)-n/10) > 4*math.Sqrt(n*0.1*0.9) {
+			t.Fatalf("Intn bucket %d count %d far from %d", b, c, n/10)
+		}
+	}
+}
+
+// TestSplitMixExponential checks the Exp(rate) mean against 1/rate.
+func TestSplitMixExponential(t *testing.T) {
+	s := NewSplitMix64(9, 3)
+	const n = 200000
+	const rate = 2.5
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exponential(rate)
+		if v < 0 {
+			t.Fatalf("negative exponential variate %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 4/(rate*math.Sqrt(n)) {
+		t.Fatalf("Exponential mean %v far from %v", mean, 1/rate)
+	}
+}
+
+// TestSplitMixIntnBounds exercises small and large bounds, including 1.
+func TestSplitMixIntnBounds(t *testing.T) {
+	s := NewSplitMix64(5, 5)
+	for i := 0; i < 1000; i++ {
+		if v := s.Intn(1); v != 0 {
+			t.Fatalf("Intn(1) = %d", v)
+		}
+		for _, n := range []int{2, 3, 7, 1 << 20, math.MaxInt32} {
+			if v := s.Intn(n); v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
