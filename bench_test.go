@@ -17,6 +17,7 @@ import (
 	"creditp2p/internal/core"
 	"creditp2p/internal/des"
 	"creditp2p/internal/market"
+	"creditp2p/internal/policy"
 	"creditp2p/internal/queueing"
 	"creditp2p/internal/shard"
 	"creditp2p/internal/stats"
@@ -599,6 +600,75 @@ func BenchmarkShardMarketLarge(b *testing.B) {
 		b.Fatal(err)
 	}
 	benchShardMarket(b, g, 100_000, 4, 20)
+}
+
+// The Policy pair runs the same sharded market with an income-tax +
+// redistribution pipeline installed, which forces every window through the
+// coordinator's globally merged canonical apply pass — the policy-path
+// barrier is the cost these benches exist to pin. Large (100k peers, four
+// lanes) is the CI allocs-guard target; XLarge (1M peers, eight lanes) is
+// the BENCH_8 acceptance bench.
+
+func benchShardMarketPolicy(b *testing.B, g *topology.Graph, peers, shards int, horizon float64) {
+	b.Helper()
+	runtime.GC()
+	heapBase := heapBytesNow()
+	var heapAfter uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		w, err := market.NewShard(market.ShardConfig{Mu: 1, Amount: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		it, err := policy.NewIncomeTax(0.25, 15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := shard.Run(shard.Config{
+			Graph:         g,
+			Shards:        shards,
+			Horizon:       horizon,
+			Seed:          8,
+			InitialWealth: 20,
+			Queue:         des.Calendar,
+			Policies:      []policy.Policy{it, policy.NewRedistribute()},
+			PolicyEpoch:   horizon / 5,
+			Workload:      w,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+		heapAfter = heapBytesNow()
+		b.ReportMetric(float64(res.Events), "events/run")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+	}
+	reportBytesPerPeer(b, heapBase, heapAfter, peers)
+}
+
+func BenchmarkShardMarketLargePolicy(b *testing.B) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 100_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchShardMarketPolicy(b, g, 100_000, 4, 20)
+}
+
+func BenchmarkShardMarketXLargePolicy(b *testing.B) {
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 1_000_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchShardMarketPolicy(b, g, 1_000_000, 8, 5)
+	if rss := peakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss)/(1<<30), "peakRSS-GB")
+	}
 }
 
 // The XLarge pair is the interleaved A/B against BenchmarkMarketSimXLarge:

@@ -12,6 +12,9 @@
 //	experiments -scenario flash-crowd -checkpoint-every 50000 -checkpoint run.snap
 //	experiments -scenario flash-crowd -restore run.snap
 //	experiments -scenario flash-crowd -preset large -shards 8
+//	experiments -scenario flash-crowd -preset large -shards 8 -timing
+//	experiments -scenario flash-crowd -shards 4 -checkpoint-every 50000 -checkpoint run.snap
+//	experiments -scenario flash-crowd -shards 4 -restore run.snap
 //	experiments -id policy-sweep
 //	experiments -taxrates 0.05,0.1,0.2 [-preset full]
 //
@@ -29,7 +32,12 @@
 //
 // -checkpoint-every N snapshots a -scenario run's full state to the
 // -checkpoint file every N events; -restore resumes a crashed run from such
-// a file and produces byte-identical output to the uninterrupted run.
+// a file and produces byte-identical output to the uninterrupted run. Both
+// compose with -shards (sharded snapshots land at the first window barrier
+// after each cadence mark).
+//
+// -timing prints the sharded kernel's phase-level barrier-pipeline
+// breakdown (dispatch / merge / apply / churn) after the report.
 package main
 
 import (
@@ -67,6 +75,7 @@ func run(args []string) error {
 	checkpointPath := fs.String("checkpoint", "checkpoint.snap", "with -scenario: the snapshot file written by -checkpoint-every")
 	restorePath := fs.String("restore", "", "with -scenario: resume from this snapshot file instead of starting fresh")
 	shards := fs.Int("shards", 1, "with -scenario: run on the sharded multi-core kernel with this many lanes (1 = the classic single-threaded engines)")
+	timing := fs.Bool("timing", false, "with -scenario -shards > 1: print the phase-level barrier-pipeline timing breakdown after the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,11 +138,12 @@ func run(args []string) error {
 		if *shards < 1 {
 			return fmt.Errorf("-shards %d: want a positive lane count", *shards)
 		}
+		if *timing && *shards <= 1 {
+			return fmt.Errorf("-timing needs -shards > 1 (the single-threaded engines have no barrier pipeline)")
+		}
 		if *shards > 1 {
-			if *checkpointEvery > 0 || *restorePath != "" {
-				return fmt.Errorf("-shards does not combine with -checkpoint-every/-restore yet (use the shard.Sim API)")
-			}
-			return runScenarioSharded(*scenarioName, *presetName, *shards)
+			return runScenarioSharded(*scenarioName, *presetName, *shards,
+				*checkpointEvery, *checkpointPath, *restorePath, *timing)
 		}
 		if *checkpointEvery > 0 || *restorePath != "" {
 			return runScenarioResumable(*scenarioName, *presetName, *checkpointEvery, *checkpointPath, *restorePath)
@@ -150,19 +160,69 @@ func run(args []string) error {
 	}
 }
 
-// runScenarioSharded runs a scenario on the sharded multi-core kernel.
-// The report gains a "shards" row; results are byte-identical across
-// shard counts by the sharded kernel's invariance contract.
-func runScenarioSharded(name, presetName string, shards int) error {
+// runScenarioSharded runs a scenario on the sharded multi-core kernel,
+// optionally with checkpoint/restore and the phase-timing breakdown. The
+// report gains a "shards" row; results are byte-identical across shard
+// counts by the sharded kernel's invariance contract.
+func runScenarioSharded(name, presetName string, shards, every int, ckPath, restorePath string, timing bool) error {
 	scale, err := parseScale(presetName)
 	if err != nil {
 		return err
 	}
-	out, err := scenario.RunShardedNamed(name, scale, shards)
+	sc, err := scenario.Get(name)
 	if err != nil {
 		return err
 	}
-	return out.Report(os.Stdout)
+	rs, err := resumeSpec(every, ckPath, restorePath)
+	if err != nil {
+		return err
+	}
+	out, err := scenario.RunShardedResumable(sc, scale, shards, rs)
+	if err != nil {
+		return err
+	}
+	if err := out.Report(os.Stdout); err != nil {
+		return err
+	}
+	if timing && out.Timings != nil {
+		if _, err := fmt.Fprintln(os.Stdout); err != nil {
+			return err
+		}
+		return out.Timings.Write(os.Stdout)
+	}
+	return nil
+}
+
+// resumeSpec assembles the scenario Resume wiring from the checkpoint
+// flags: an atomic file sink for the cadence, and the restore snapshot's
+// bytes when resuming.
+func resumeSpec(every int, ckPath, restorePath string) (scenario.Resume, error) {
+	rs := scenario.Resume{}
+	if every > 0 {
+		rs.CheckpointEvery = every
+		rs.Sink = atomicSink(ckPath)
+	}
+	if restorePath != "" {
+		data, err := os.ReadFile(restorePath)
+		if err != nil {
+			return rs, fmt.Errorf("restore: %w", err)
+		}
+		rs.Snapshot = data
+	}
+	return rs, nil
+}
+
+// atomicSink writes each snapshot write-then-rename, so a crash
+// mid-checkpoint leaves the previous snapshot intact instead of a torn
+// file.
+func atomicSink(ckPath string) func([]byte) error {
+	return func(data []byte) error {
+		tmp := ckPath + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			return err
+		}
+		return os.Rename(tmp, ckPath)
+	}
 }
 
 // parseScale maps the -preset flag to a scenario scale.
@@ -194,25 +254,9 @@ func runScenarioResumable(name, presetName string, every int, ckPath, restorePat
 	if err != nil {
 		return err
 	}
-	rs := scenario.Resume{}
-	if every > 0 {
-		rs.CheckpointEvery = every
-		rs.Sink = func(data []byte) error {
-			// Write-then-rename so a crash mid-checkpoint leaves the
-			// previous snapshot intact instead of a torn file.
-			tmp := ckPath + ".tmp"
-			if err := os.WriteFile(tmp, data, 0o644); err != nil {
-				return err
-			}
-			return os.Rename(tmp, ckPath)
-		}
-	}
-	if restorePath != "" {
-		data, err := os.ReadFile(restorePath)
-		if err != nil {
-			return fmt.Errorf("restore: %w", err)
-		}
-		rs.Snapshot = data
+	rs, err := resumeSpec(every, ckPath, restorePath)
+	if err != nil {
+		return err
 	}
 	out, err := scenario.RunResumable(sc, scale, rs)
 	if err != nil {

@@ -2,7 +2,7 @@ package des
 
 import (
 	"math"
-	"slices"
+	"math/bits"
 )
 
 // calendarQueue is a bucketed timing wheel (a calendar queue in the sense
@@ -36,11 +36,11 @@ import (
 // calendar to it.
 type calendarQueue struct {
 	// Per-slot entry storage, parallel to the scheduler slab (index is
-	// slot-1). next threads each bucket's chain; -1 terminates.
-	times []float64
-	seqs  []uint64
-	days  []int64
-	next  []int32
+	// slot-1). One struct per slot rather than parallel arrays: a push or
+	// drain touches a single cache line per entry instead of four, which
+	// is what the million-peer working set notices. next threads each
+	// bucket's chain; 0 terminates.
+	slots []calSlot
 
 	// heads holds each bucket's chain head slot (0 marks an empty bucket;
 	// slots are 1-based).
@@ -67,6 +67,15 @@ type calendarQueue struct {
 	drainDay int64
 	// scratch is the reusable retune gather buffer.
 	scratch []calEntry
+
+	// nwSlot cursors a one-hop-per-pop pre-walk of the next day's bucket
+	// chain: drainDayInto's pointer chase is a serial cache-miss chain,
+	// so touching one link per pop while the current batch serves
+	// overlaps those misses with event work. warm sinks the loads; both
+	// are hints — a stale cursor (splice, retune, recycled slot) just
+	// warms a harmless line.
+	nwSlot int32
+	warm   uint32
 }
 
 // calEntry is one drained pending event.
@@ -74,6 +83,14 @@ type calEntry struct {
 	time float64
 	seq  uint64
 	slot int32
+}
+
+// calSlot is one chained pending event, indexed by scheduler slot-1.
+type calSlot struct {
+	time float64
+	seq  uint64
+	day  int64
+	next int32
 }
 
 func (a calEntry) beforeEntry(bTime float64, bSeq uint64) bool {
@@ -124,13 +141,10 @@ func (q *calendarQueue) draining() bool { return q.pos < len(q.drain) }
 // push inserts an entry.
 func (q *calendarQueue) push(t float64, seq uint64, slot int32) {
 	i := int(slot) - 1
-	if i >= len(q.times) {
+	if i >= len(q.slots) {
 		// Slots are handed out by the scheduler slab in order, so this
 		// appends in lockstep (amortized, no per-push allocation).
-		q.times = append(q.times, 0)
-		q.seqs = append(q.seqs, 0)
-		q.days = append(q.days, 0)
-		q.next = append(q.next, 0)
+		q.slots = append(q.slots, calSlot{})
 	}
 	day := q.dayOf(t)
 	if q.draining() && day <= q.drainDay {
@@ -152,11 +166,8 @@ func (q *calendarQueue) push(t float64, seq uint64, slot int32) {
 		q.count++
 		return
 	}
-	q.times[i] = t
-	q.seqs[i] = seq
-	q.days[i] = day
 	b := day & q.mask
-	q.next[i] = q.heads[b]
+	q.slots[i] = calSlot{time: t, seq: seq, day: day, next: q.heads[b]}
 	q.heads[b] = slot
 	q.count++
 	if day < q.curDay {
@@ -194,11 +205,11 @@ func (q *calendarQueue) peek() (heapEntry, bool) {
 	minDay := int64(calMaxDay)
 	for _, s := range q.heads {
 		for s != 0 {
-			i := s - 1
-			if q.days[i] < minDay {
-				minDay = q.days[i]
+			sl := &q.slots[s-1]
+			if sl.day < minDay {
+				minDay = sl.day
 			}
-			s = q.next[i]
+			s = sl.next
 		}
 	}
 	if !q.drainDayInto(minDay) {
@@ -220,14 +231,14 @@ func (q *calendarQueue) drainDayInto(day int64) bool {
 	prev := int32(0) // 0 means "the bucket head"
 	b := day & q.mask
 	for s := q.heads[b]; s != 0; {
-		i := s - 1
-		nxt := q.next[i]
-		if q.days[i] == day {
-			q.drain = append(q.drain, calEntry{time: q.times[i], seq: q.seqs[i], slot: s})
+		sl := &q.slots[s-1]
+		nxt := sl.next
+		if sl.day == day {
+			q.drain = append(q.drain, calEntry{time: sl.time, seq: sl.seq, slot: s})
 			if prev == 0 {
 				q.heads[b] = nxt
 			} else {
-				q.next[prev-1] = nxt
+				q.slots[prev-1].next = nxt
 			}
 		} else {
 			prev = s
@@ -240,24 +251,39 @@ func (q *calendarQueue) drainDayInto(day int64) bool {
 	q.sortDrain()
 	q.curDay = day
 	q.drainDay = day
+	q.nwSlot = q.heads[(day+1)&q.mask]
 	return true
+}
+
+// prewalkStep advances the next-day chain pre-walk by one link.
+func (q *calendarQueue) prewalkStep() {
+	if s := q.nwSlot; s != 0 {
+		nxt := q.slots[s-1].next
+		q.warm += uint32(nxt)
+		q.nwSlot = nxt
+	}
 }
 
 // sortDrain orders the batch ascending by (time, seq). Day batches are a
 // handful of entries at the target occupancy, so a binary-insertion sort
-// beats the general sorter; big batches (coarse widths, heavy ties) fall
-// back to it.
+// handles them directly; big batches (coarse widths, transient densities
+// between retunes) go through a specialized introsort whose comparisons
+// inline — the generic sorter's func-valued comparator was a top entry in
+// the sharded market profile, charged once per comparison across millions
+// of drained events. (time, seq) keys are unique, so every correct sort
+// yields the same byte-identical delivery order.
 func (q *calendarQueue) sortDrain() {
 	d := q.drain
 	if len(d) > 32 {
-		slices.SortFunc(d, func(a, b calEntry) int {
-			if a.beforeEntry(b.time, b.seq) {
-				return -1
-			}
-			return 1
-		})
+		quickDrain(d, 2*bits.Len(uint(len(d))))
 		return
 	}
+	insertionDrain(d)
+}
+
+// insertionDrain is the small-batch sort: binary search for the insertion
+// point, one memmove per element.
+func insertionDrain(d []calEntry) {
 	for i := 1; i < len(d); i++ {
 		e := d[i]
 		j := i
@@ -266,6 +292,95 @@ func (q *calendarQueue) sortDrain() {
 			j--
 		}
 		d[j] = e
+	}
+}
+
+// quickDrain is a median-of-three quicksort over calEntry with inline
+// (time, seq) comparisons, recursing into the smaller partition and looping
+// on the larger. limit bounds the quicksort depth; an adversarial pattern
+// that exhausts it falls back to heapsort, keeping the worst case
+// O(n log n) like the generic sorter it replaces.
+func quickDrain(d []calEntry, limit int) {
+	for len(d) > 32 {
+		if limit == 0 {
+			heapDrain(d)
+			return
+		}
+		limit--
+		p := partitionDrain(d)
+		if p < len(d)-p-1 {
+			quickDrain(d[:p], limit)
+			d = d[p+1:]
+		} else {
+			quickDrain(d[p+1:], limit)
+			d = d[:p]
+		}
+	}
+	insertionDrain(d)
+}
+
+// partitionDrain Hoare-partitions d around the median of its first, middle
+// and last entries, returning the pivot's final index.
+func partitionDrain(d []calEntry) int {
+	m := len(d) / 2
+	hi := len(d) - 1
+	if d[m].beforeEntry(d[0].time, d[0].seq) {
+		d[0], d[m] = d[m], d[0]
+	}
+	if d[hi].beforeEntry(d[0].time, d[0].seq) {
+		d[0], d[hi] = d[hi], d[0]
+	}
+	if d[hi].beforeEntry(d[m].time, d[m].seq) {
+		d[m], d[hi] = d[hi], d[m]
+	}
+	d[0], d[m] = d[m], d[0]
+	pt, ps := d[0].time, d[0].seq
+	i, j := 1, hi
+	for {
+		for i <= j && d[i].beforeEntry(pt, ps) {
+			i++
+		}
+		for i <= j && !d[j].beforeEntry(pt, ps) {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		d[i], d[j] = d[j], d[i]
+		i++
+		j--
+	}
+	d[0], d[j] = d[j], d[0]
+	return j
+}
+
+// heapDrain is the depth-limit fallback: in-place heapsort with the same
+// inline comparisons.
+func heapDrain(d []calEntry) {
+	n := len(d)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftDrain(d, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		d[0], d[end] = d[end], d[0]
+		siftDrain(d, 0, end)
+	}
+}
+
+func siftDrain(d []calEntry, root, end int) {
+	for {
+		c := 2*root + 1
+		if c >= end {
+			return
+		}
+		if c+1 < end && d[c].beforeEntry(d[c+1].time, d[c+1].seq) {
+			c++
+		}
+		if !d[root].beforeEntry(d[c].time, d[c].seq) {
+			return
+		}
+		d[root], d[c] = d[c], d[root]
+		root = c
 	}
 }
 
@@ -292,9 +407,9 @@ func (q *calendarQueue) retune() {
 	all := q.scratch[:0]
 	for _, s := range q.heads {
 		for s != 0 {
-			i := s - 1
-			all = append(all, calEntry{time: q.times[i], seq: q.seqs[i], slot: s})
-			s = q.next[i]
+			sl := &q.slots[s-1]
+			all = append(all, calEntry{time: sl.time, seq: sl.seq, slot: s})
+			s = sl.next
 		}
 	}
 	all = append(all, q.drain[q.pos:]...)
@@ -334,14 +449,14 @@ func (q *calendarQueue) retune() {
 	q.mask = int64(buckets - 1)
 	minDay := int64(calMaxDay)
 	for _, e := range all {
-		i := e.slot - 1
+		sl := &q.slots[e.slot-1]
 		day := q.dayOf(e.time)
-		q.days[i] = day
+		sl.day = day
 		if day < minDay {
 			minDay = day
 		}
 		b := day & q.mask
-		q.next[i] = q.heads[b]
+		sl.next = q.heads[b]
 		q.heads[b] = e.slot
 	}
 	if len(all) == 0 {

@@ -117,6 +117,11 @@ type Scheduler struct {
 	live    int            // scheduled and not cancelled
 	fired   uint64
 	dropped uint64
+	// warm sinks the read-ahead loads in pop so the compiler cannot drop
+	// them; the value itself is meaningless and never read. warmPos is
+	// the drain-batch index slab warming has reached.
+	warm    uint32
+	warmPos int
 }
 
 // NewScheduler returns a heap-ordered scheduler at time 0 with no pending
@@ -278,10 +283,40 @@ func (s *Scheduler) pop(horizon float64) (Event, bool) {
 	for {
 		var head heapEntry
 		if s.cal != nil {
-			var ok bool
-			if head, ok = s.cal.peek(); !ok {
-				return Event{}, false
+			q := s.cal
+			if !q.draining() {
+				var ok bool
+				if head, ok = q.peek(); !ok {
+					return Event{}, false
+				}
+				s.warmPos = 0
+			} else {
+				e := q.drain[q.pos]
+				head = heapEntry{time: e.time, seq: e.seq, slot: e.slot}
 			}
+			if s.warmPos < len(q.drain) && q.pos+32 > s.warmPos {
+				// The drain batch's serve order is known ahead of time, so
+				// touch the slab nodes it will visit, staying a chunk in
+				// front of the cursor: at large populations each pop's slab
+				// access is a cache miss, and issuing the batch's loads
+				// together overlaps them instead of paying one serialized
+				// miss per event. (Exponential pending-time distributions
+				// make the front days dense, so batches can run to
+				// hundreds of entries — warming in chunks keeps the
+				// touched window inside L1 instead of thrashing it.)
+				d := q.drain
+				lim := q.pos + 96
+				if lim > len(d) {
+					lim = len(d)
+				}
+				var warm uint32
+				for i := s.warmPos; i < lim; i++ {
+					warm += uint32(s.slab[d[i].slot-1].gen)
+				}
+				s.warm = warm
+				s.warmPos = lim
+			}
+			q.prewalkStep()
 		} else {
 			if len(s.heap) == 0 {
 				return Event{}, false
@@ -305,6 +340,23 @@ func (s *Scheduler) pop(horizon float64) (Event, bool) {
 		s.now = ev.Time
 		return ev, true
 	}
+}
+
+// UpcomingActor returns the actor of the k-th event after the current
+// queue head when the active backend can see it cheaply — the calendar's
+// sorted drain batch. ok is false otherwise (heap backend, or fewer than
+// k+1 entries left in the batch). It is a prefetch hint for callers that
+// want to warm per-actor state ahead of delivery: the result may include
+// cancelled events and never affects what pop returns.
+func (s *Scheduler) UpcomingActor(k int) (int32, bool) {
+	if s.cal == nil {
+		return 0, false
+	}
+	i := s.cal.pos + k
+	if i >= len(s.cal.drain) {
+		return 0, false
+	}
+	return s.slab[s.cal.drain[i].slot-1].actor, true
 }
 
 // qRemoveHead deletes the queue minimum from whichever backend is active.

@@ -1,6 +1,9 @@
 package des
 
-import "slices"
+import (
+	"math"
+	"slices"
+)
 
 // XEvent is one buffered cross-lane effect in the sharded kernel: a credit
 // delivery (or other workload-defined effect) produced inside a shard
@@ -53,38 +56,226 @@ func xeventBefore(a, b XEvent) int {
 	return 0
 }
 
+// xeventLess is xeventBefore as a strict bool predicate — the k-way
+// merge's comparison, written out so it inlines into the loser-tree
+// replay loop.
+func xeventLess(a, b *XEvent) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	return a.Seq < b.Seq
+}
+
 // MergeBuffer accumulates the cross-lane effects of one epoch window and
 // hands them back in canonical order at the barrier. Each lane appends to
 // its own buffer during the window (no sharing, no locks); the coordinator
-// then merges all lanes' buffers through Collect. Buffers keep their
-// capacity across epochs, so steady-state operation allocates nothing.
+// then merges all lanes' buffers — through a Merger on the policy path, or
+// bucket-at-a-time on the commutative no-policy path. Buffers keep their
+// capacity across epochs (grow-once slabs), so steady-state operation
+// allocates nothing; Trim releases the slack after a traffic spike.
 type MergeBuffer struct {
 	ev []XEvent
+	// hw is the high-water occupancy since the last Trim.
+	hw int
 }
 
-// Add appends one effect. Callers append in emission order, which within
-// one lane is already (Time, ...)-ordered; the final sort in Collect is
-// therefore nearly-sorted-merge cheap.
-func (b *MergeBuffer) Add(ev XEvent) { b.ev = append(b.ev, ev) }
+// Add appends one effect, keeping the buffer canonically ordered. Lanes
+// drain their schedulers in time order, so appends arrive in nondecreasing
+// (Time, Src, Seq) order already — two same-lane peers emitting at the
+// float-identical instant is the only way an append can sort before the
+// tail, making the fix-up loop dead weight on real traffic. It exists so
+// the sorted-runs precondition of the k-way merge is a construction
+// invariant rather than a statistical one.
+func (b *MergeBuffer) Add(ev XEvent) {
+	n := len(b.ev)
+	b.ev = append(b.ev, ev)
+	if n > 0 && xeventBefore(b.ev[n], b.ev[n-1]) < 0 {
+		for i := n; i > 0 && xeventBefore(b.ev[i], b.ev[i-1]) < 0; i-- {
+			b.ev[i], b.ev[i-1] = b.ev[i-1], b.ev[i]
+		}
+	}
+}
 
 // Len returns the number of buffered effects.
 func (b *MergeBuffer) Len() int { return len(b.ev) }
 
-// Reset empties the buffer, keeping capacity.
-func (b *MergeBuffer) Reset() { b.ev = b.ev[:0] }
+// Reset empties the buffer, keeping capacity and recording the high-water
+// mark Trim consults.
+func (b *MergeBuffer) Reset() {
+	if len(b.ev) > b.hw {
+		b.hw = len(b.ev)
+	}
+	b.ev = b.ev[:0]
+}
 
-// Events exposes the raw buffered slice (emission order, unsorted). The
-// slice is owned by the buffer and valid until the next Add or Reset.
+// Trim releases slack capacity: when the buffer's backing array holds more
+// than four times the high-water occupancy observed since the previous
+// Trim, it is reallocated at that high-water mark. Steady-state traffic
+// never triggers a reallocation — only a shrink after a spike (a flash
+// crowd's barrier, a churn wave) that would otherwise pin the peak
+// footprint for the rest of the run. Call at a quiet boundary, after the
+// buffered window has been consumed.
+func (b *MergeBuffer) Trim() {
+	if len(b.ev) > b.hw {
+		b.hw = len(b.ev)
+	}
+	if c := cap(b.ev); c > 64 && c > 4*b.hw {
+		nw := b.hw
+		if nw < 64 {
+			nw = 64
+		}
+		ne := make([]XEvent, len(b.ev), nw)
+		copy(ne, b.ev)
+		b.ev = ne
+	}
+	b.hw = 0
+}
+
+// Events exposes the raw buffered slice (canonical order). The slice is
+// owned by the buffer and valid until the next Add, Reset or Trim.
 func (b *MergeBuffer) Events() []XEvent { return b.ev }
 
 // Collect merges the lanes' epoch buffers into dst in canonical
-// (Time, Src, Seq) order and returns the extended slice. The input buffers
-// are not modified; pass dst[:0] of a reused scratch slice to avoid
-// allocation in steady state.
+// (Time, Src, Seq) order by a global sort and returns the extended slice.
+// It is the straight-line reference the Merger's loser tree is
+// property-tested against; the sharded kernel's hot path uses the Merger,
+// which does O(M log K) work instead of O(M log M).
 func Collect(dst []XEvent, lanes []*MergeBuffer) []XEvent {
 	for _, b := range lanes {
 		dst = append(dst, b.ev...)
 	}
 	slices.SortFunc(dst, xeventBefore)
 	return dst
+}
+
+// sentinelSrc marks an exhausted run's head; combined with +Inf time it
+// sorts after every real event (no emission happens at infinite time).
+const sentinelSrc = int32(math.MaxInt32)
+
+// Merger is a loser-tree k-way merge over canonically ordered runs — the
+// barrier-merge engine of the sharded kernel's policy path. Each lane's
+// outbox is already in (Time, Src, Seq) order (MergeBuffer.Add maintains
+// it), so merging K such runs costs one tournament replay of ceil(log2 K)
+// inline comparisons per event: O(M log K) total, against the O(M log M)
+// of re-sorting M events that are already K sorted runs. All internal
+// state is recycled across Init calls; a Merger held for a run's lifetime
+// allocates only until the largest K has been seen.
+//
+// The tree layout is the classic tournament: k padded leaves (one per
+// run), internal nodes 1..k-1 each holding the loser of the match played
+// there, and the overall winner kept aside. Advancing the winner's run
+// and replaying its root path re-establishes the invariant in exactly
+// log2(k) comparisons.
+type Merger struct {
+	runs [][]XEvent
+	pos  []int
+	head []XEvent
+	// loser[n] is the losing run index at internal node n (1..k-1);
+	// node[i] is init-time scratch for the bottom-up tournament build.
+	loser []int32
+	node  []int32
+	win   int32
+	k     int
+	left  int
+}
+
+// Init points the merger at a new window's runs. Empty runs are skipped;
+// input slices are read, never modified, and must stay unchanged until
+// the merge completes.
+func (m *Merger) Init(runs [][]XEvent) {
+	m.runs = m.runs[:0]
+	m.left = 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			m.runs = append(m.runs, r)
+			m.left += len(r)
+		}
+	}
+	n := len(m.runs)
+	k := 1
+	for k < n {
+		k <<= 1
+	}
+	m.k = k
+	if cap(m.pos) < k {
+		m.pos = make([]int, k)
+		m.head = make([]XEvent, k)
+		m.loser = make([]int32, k)
+		m.node = make([]int32, 2*k)
+	}
+	m.pos = m.pos[:k]
+	m.head = m.head[:k]
+	m.loser = m.loser[:k]
+	m.node = m.node[:2*k]
+	for i := 0; i < k; i++ {
+		m.pos[i] = 0
+		if i < n {
+			m.head[i] = m.runs[i][0]
+		} else {
+			m.head[i] = XEvent{Time: math.Inf(1), Src: sentinelSrc}
+		}
+		m.node[k+i] = int32(i)
+	}
+	// Bottom-up tournament: each internal node records its loser and
+	// forwards its winner.
+	for nd := k - 1; nd >= 1; nd-- {
+		a, b := m.node[2*nd], m.node[2*nd+1]
+		if xeventLess(&m.head[b], &m.head[a]) {
+			a, b = b, a
+		}
+		m.node[nd] = a
+		m.loser[nd] = b
+	}
+	m.win = m.node[1]
+}
+
+// Len returns the number of events not yet produced.
+func (m *Merger) Len() int { return m.left }
+
+// Next produces the next event in canonical order; ok is false once every
+// run is exhausted.
+func (m *Merger) Next() (ev XEvent, ok bool) {
+	if m.left == 0 {
+		return XEvent{}, false
+	}
+	m.left--
+	w := m.win
+	ev = m.head[w]
+	// Advance the winning run and replay its path to the root.
+	p := m.pos[w] + 1
+	if p < len(m.runs[w]) {
+		m.pos[w] = p
+		m.head[w] = m.runs[w][p]
+	} else {
+		m.head[w] = XEvent{Time: math.Inf(1), Src: sentinelSrc}
+	}
+	for nd := (m.k + int(w)) >> 1; nd >= 1; nd >>= 1 {
+		if l := m.loser[nd]; xeventLess(&m.head[l], &m.head[w]) {
+			m.loser[nd] = w
+			w = l
+		}
+	}
+	m.win = w
+	return ev, true
+}
+
+// Merge appends the canonical merge of runs to dst and returns the
+// extended slice — Collect's contract, at loser-tree cost. Pass dst[:0]
+// of a reused scratch slice for allocation-free steady state.
+func (m *Merger) Merge(dst []XEvent, runs [][]XEvent) []XEvent {
+	m.Init(runs)
+	if len(m.runs) == 1 {
+		// Single-run fast path: the run is already canonical.
+		return append(dst, m.runs[0]...)
+	}
+	for {
+		ev, ok := m.Next()
+		if !ok {
+			return dst
+		}
+		dst = append(dst, ev)
+	}
 }

@@ -71,8 +71,8 @@ func (s *Scheduler) pendingEntries() ([]uint64, []int32) {
 	if s.cal != nil {
 		q := s.cal
 		for _, head := range q.heads {
-			for sl := head; sl != 0; sl = q.next[sl-1] {
-				ps = append(ps, pair{seq: q.seqs[sl-1], slot: sl})
+			for sl := head; sl != 0; sl = q.slots[sl-1].next {
+				ps = append(ps, pair{seq: q.slots[sl-1].seq, slot: sl})
 			}
 		}
 		for _, e := range q.drain[q.pos:] {
@@ -161,13 +161,10 @@ func (s *Scheduler) LoadState(r *snapshot.Reader) error {
 
 	if s.cal != nil {
 		q := newCalendarQueue()
-		// Pre-grow the per-slot parallel arrays: push assumes slots are
+		// Pre-grow the per-slot entry storage: push assumes slots are
 		// handed out in slab order, which does not hold when rebuilding an
 		// arbitrary pending set.
-		q.times = make([]float64, n)
-		q.seqs = make([]uint64, n)
-		q.days = make([]int64, n)
-		q.next = make([]int32, n)
+		q.slots = make([]calSlot, n)
 		s.cal = q
 		for i, sl := range pendSlots {
 			q.push(s.slab[sl-1].time, pendSeqs[i], sl)

@@ -129,6 +129,13 @@ func (m *ShardMarket) OnEvent(ln *shard.Lane, ev des.Event) {
 	m.pend[g] = ln.ScheduleAt(ev.Time+delay, shard.KindUser, g, 0)
 }
 
+// WarmActor implements shard.ActorWarmer: it touches the peer's pending
+// handle (the one workload array OnEvent hits that the kernel cannot see)
+// so the kernel's dispatch read-ahead covers it too. Pure read.
+func (m *ShardMarket) WarmActor(g int32) uint32 {
+	return uint32(m.pend[g].Pack())
+}
+
 // Retire cancels the departing peer's pending attempt.
 func (m *ShardMarket) Retire(ln *shard.Lane, g int32) {
 	ln.Cancel(m.pend[g])

@@ -666,6 +666,10 @@ type Outcome struct {
 	// (RunSharded with shards > 1).
 	Shards int
 	Shard  *shard.Result
+	// Timings is the sharded run's phase-level barrier-pipeline breakdown
+	// (dispatch / merge / apply / churn). Diagnostic only: it is not part
+	// of Report's output, so report bytes stay invariant run-to-run.
+	Timings *shard.Timings
 }
 
 // Events returns the run's throughput denominator: credit transfers for

@@ -133,8 +133,19 @@ func (sc Scenario) ShardConfig(scale Scale, shards int) (shard.Config, error) {
 // engines via Run — existing invocations and their byte-identical
 // outputs are untouched; the sharded model engages only when asked for.
 func RunSharded(sc Scenario, scale Scale, shards int) (*Outcome, error) {
+	return RunShardedResumable(sc, scale, shards, Resume{})
+}
+
+// RunShardedResumable is RunSharded with crash/resume support: periodic
+// snapshots flow to rs.Sink, and a non-nil rs.Snapshot resumes a
+// checkpointed run instead of starting fresh. Sharded snapshots are
+// barrier-aligned, so the event-count cadence quantizes up to window
+// boundaries: a snapshot lands at the first barrier at or after each
+// multiple of rs.CheckpointEvery dispatched events. The completed run's
+// Outcome is byte-identical to RunSharded's.
+func RunShardedResumable(sc Scenario, scale Scale, shards int, rs Resume) (*Outcome, error) {
 	if shards <= 1 {
-		return Run(sc, scale)
+		return RunResumable(sc, scale, rs)
 	}
 	d, err := sc.dims(scale)
 	if err != nil {
@@ -144,10 +155,25 @@ func RunSharded(sc Scenario, scale Scale, shards int) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := shard.Run(cfg)
+	var s *shard.Sim
+	if rs.Snapshot != nil {
+		s, err = shard.RestoreSim(cfg, rs.Snapshot)
+	} else {
+		if s, err = shard.NewSim(cfg); err == nil {
+			err = s.Start()
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
+	if err := driveSharded(s, rs); err != nil {
+		return nil, err
+	}
+	res, err := s.Finish()
+	if err != nil {
+		return nil, err
+	}
+	t := s.Engine().Timings()
 	return &Outcome{
 		Name:    sc.Name,
 		Scale:   scale,
@@ -155,7 +181,35 @@ func RunSharded(sc Scenario, scale Scale, shards int) (*Outcome, error) {
 		Horizon: d.horizon,
 		Shards:  shards,
 		Shard:   res,
+		Timings: &t,
 	}, nil
+}
+
+// driveSharded steps a sharded run window-by-window, snapshotting at the
+// first barrier at or after each multiple of rs.CheckpointEvery dispatched
+// events.
+func driveSharded(s *shard.Sim, rs Resume) error {
+	if rs.CheckpointEvery <= 0 || rs.Sink == nil {
+		for s.StepWindow() {
+		}
+		return nil
+	}
+	every := uint64(rs.CheckpointEvery)
+	next := every
+	// After a restore, pick the cadence up past the events the run had
+	// already dispatched at the checkpoint.
+	if n := s.Engine().EventsFired(); n >= next {
+		next = (n/every + 1) * every
+	}
+	for s.StepWindow() {
+		if n := s.Engine().EventsFired(); n >= next {
+			if err := rs.Sink(s.Snapshot()); err != nil {
+				return fmt.Errorf("scenario: checkpoint after %d events: %w", n, err)
+			}
+			next = (n/every + 1) * every
+		}
+	}
+	return nil
 }
 
 // RunShardedNamed looks a scenario up and runs it on the sharded kernel.

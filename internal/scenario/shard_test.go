@@ -70,6 +70,55 @@ func TestRunShardedReport(t *testing.T) {
 	}
 }
 
+// TestRunShardedResumableParity checkpoints a sharded policy-enabled run
+// mid-flight, resumes from the captured snapshot, and requires the resumed
+// run's result to be byte-identical to the uninterrupted one — the
+// scenario-layer end of the shard.Sim crash/resume contract, through the
+// same entry point cmd/experiments -shards -checkpoint-every uses.
+func TestRunShardedResumableParity(t *testing.T) {
+	sc, err := Get("taxed-streaming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 4
+	base, err := RunSharded(sc, ScaleQuick, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Timings == nil || base.Timings.Windows == 0 {
+		t.Fatalf("sharded outcome missing timings: %+v", base.Timings)
+	}
+	if base.Timings.MergedEvents == 0 {
+		t.Fatal("policy-enabled run merged no events; the checkpoint would not cover the merge path")
+	}
+	var snaps [][]byte
+	_, err = RunShardedResumable(sc, ScaleQuick, shards, Resume{
+		CheckpointEvery: 500,
+		Sink: func(data []byte) error {
+			snaps = append(snaps, append([]byte(nil), data...))
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("got %d checkpoints, want at least 2", len(snaps))
+	}
+	// Resume from a mid-run snapshot, not the final one, so a real tail of
+	// windows replays after the restore.
+	resumed, err := RunShardedResumable(sc, ScaleQuick, shards, Resume{
+		Snapshot: snaps[len(snaps)/2],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Shard.Fingerprint() != base.Shard.Fingerprint() {
+		t.Fatalf("resumed fingerprint %016x != uninterrupted %016x",
+			resumed.Shard.Fingerprint(), base.Shard.Fingerprint())
+	}
+}
+
 // TestRunShardedFallsBackToLegacy pins that shards <= 1 routes to the
 // classic single-threaded engines, preserving their byte-identical
 // outputs (the goldenhash base lines).

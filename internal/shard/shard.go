@@ -58,6 +58,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"creditp2p/internal/des"
 	"creditp2p/internal/policy"
@@ -123,6 +124,15 @@ type Workload interface {
 	// checkpoint/restore at a window boundary.
 	SaveState(w *snapshot.Writer)
 	LoadState(r *snapshot.Reader) error
+}
+
+// ActorWarmer is an optional Workload extension: WarmActor touches the
+// workload's own per-actor state (pending-event handles, role tables) as
+// a prefetch hint when the kernel knows the actor will fire shortly. It
+// must be a pure read — returning a value folded from the loads keeps
+// them observable — and runs on the actor's owner lane.
+type ActorWarmer interface {
+	WarmActor(g int32) uint32
 }
 
 // Config parameterizes a sharded run.
@@ -194,6 +204,9 @@ type Lane struct {
 	// transfers / crossTransfers / lost count applied effects.
 	transfers, crossTransfers, lostCount uint64
 	lostAmount                           int64
+	// warm sinks dispatch's read-ahead loads so the compiler keeps them;
+	// per-lane because dispatch runs concurrently across lanes.
+	warm uint32
 }
 
 // Engine coordinates P lanes through lockstep windows.
@@ -240,13 +253,40 @@ type Engine struct {
 	population *trace.Series
 	supply     *trace.Series
 
-	// barrier scratch
+	// Barrier scratch, all recycled across windows: steady-state barriers
+	// allocate nothing (pinned by TestBarrierSteadyStateZeroAlloc and the
+	// ShardMarketLargePolicy allocs guard). The slabs grow once to their
+	// high-water occupancy and are trimmed back every trimEvery windows if
+	// a traffic spike left them more than 4x oversized.
 	lifeScratch []lifeEvent
+	lifeRuns    [][]lifeEvent
+	lifePos     []int
+	lifeHW      int
 	mergeAll    []des.XEvent
+	mergeHW     int
+	runScratch  [][]des.XEvent
+	merger      des.Merger
+	host        engineHost
+	// warmActor is the workload's optional per-actor prefetch hook.
+	warmActor ActorWarmer
+	// warm sinks applyMerged's read-ahead loads so the compiler keeps
+	// them; the value is meaningless and never read.
+	warm uint32
+	// dispatchFn / applyFn are the per-window lane closures, built once:
+	// a capture-free closure costs nothing per call, while one capturing
+	// the window end would be heap-allocated every window (it escapes into
+	// parallel's goroutines). They read the window end from bNow.
+	dispatchFn func(ln *Lane)
+	applyFn    func(ln *Lane)
+
+	timings Timings
 
 	started  bool
 	finished bool
 }
+
+// trimEvery is the window cadence of the high-water buffer trim.
+const trimEvery = 64
 
 const aliveBit = uint8(1)
 
@@ -331,15 +371,35 @@ func New(cfg Config) (*Engine, error) {
 		e.lanes[s] = ln
 	}
 	e.polRNG = xrand.New(cfg.Seed ^ 0x5ca1ab1e)
-	e.gini = trace.NewSeries("gini")
-	e.population = trace.NewSeries("population")
-	e.supply = trace.NewSeries("supply")
+	e.host.e = e
+	e.dispatchFn = func(ln *Lane) {
+		for d := range ln.out {
+			ln.out[d].Reset()
+		}
+		ln.sched.RunUntil(ln.e.bNow, ln.dispatch)
+	}
+	e.applyFn = func(ln *Lane) { ln.applyInbound() }
+	// Pre-size the metric series to the whole run's sample count so
+	// barrier-time samples never grow a backing array.
+	samples := int(e.horizon/e.sampleEvery) + 3
+	e.gini = presizedSeries("gini", samples)
+	e.population = presizedSeries("population", samples)
+	e.supply = presizedSeries("supply", samples)
 	e.nextSample = 0
 	e.nextPol = e.polEpoch
 	if err := cfg.Workload.Setup(e); err != nil {
 		return nil, err
 	}
+	e.warmActor, _ = cfg.Workload.(ActorWarmer)
 	return e, nil
+}
+
+// presizedSeries builds a series with capacity for n points.
+func presizedSeries(name string, n int) *trace.Series {
+	s := trace.NewSeries(name)
+	s.Times = make([]float64, 0, n)
+	s.Values = make([]float64, 0, n)
+	return s
 }
 
 // Start arms every peer's initial events and records the t=0 sample.
@@ -351,9 +411,8 @@ func (e *Engine) Start() error {
 	// The initial population joins with Running() false, mirroring the
 	// single-threaded kernels' OnJoin contract.
 	if e.engine != nil {
-		h := &engineHost{e: e}
 		for g := int32(0); g < int32(e.n); g++ {
-			e.engine.Joined(h, g)
+			e.engine.Joined(&e.host, g)
 		}
 	}
 	e.running = true
@@ -385,33 +444,77 @@ func (e *Engine) StepWindow() bool {
 		tEnd = e.horizon
 	}
 	e.bNow = tEnd
-	// Phase 1: every lane drains its events in [now, tEnd] in parallel.
-	// Lanes only touch their own partition of the peer state plus the
-	// read-only epoch views, so the goroutine schedule cannot influence
-	// results.
-	e.parallel(func(ln *Lane) {
-		for d := range ln.out {
-			ln.out[d].Reset()
-		}
-		ln.sched.RunUntil(tEnd, ln.dispatch)
-	})
-	// Phase 2: apply buffered effects. Without a policy pipeline each
-	// lane applies its own inbound effects in parallel (the canonical
-	// order is preserved per destination lane, and effect application on
-	// disjoint destinations commutes); with policies the income hooks
-	// touch global state (pot, any peer), so one coordinator pass applies
-	// the globally merged canonical sequence.
+	// Phase 1 (dispatch): every lane drains its events in [now, tEnd] in
+	// parallel. Lanes only touch their own partition of the peer state
+	// plus the read-only epoch views, so the goroutine schedule cannot
+	// influence results.
+	t0 := time.Now()
+	e.parallel(e.dispatchFn)
+	t1 := time.Now()
+	e.timings.Dispatch += t1.Sub(t0)
+	// Phases 2+3 (merge, apply): deliver the window's buffered effects.
+	// Without a policy pipeline there is no merge — each lane applies its
+	// own inbound buckets in parallel (delivery on disjoint destination
+	// partitions commutes, so no canonical order is needed); with policies
+	// the income hooks touch global state (pot, any peer), so the
+	// coordinator k-way-merges every outbox into the one canonical
+	// sequence and applies it in a single pass.
 	if e.engine == nil {
-		e.parallel(func(ln *Lane) { ln.applyInbound() })
+		e.parallel(e.applyFn)
+		e.timings.Apply += time.Since(t1)
 	} else {
-		e.applyWithPolicies()
+		e.collectMerged()
+		t2 := time.Now()
+		e.timings.Merge += t2.Sub(t1)
+		e.applyMerged()
+		e.timings.Apply += time.Since(t2)
 	}
-	// Phase 3: coordinator — lifecycle deltas into the epoch bitmap (and
-	// policy join/depart hooks), epoch hooks, samples.
+	// Phase 4 (churn): coordinator — lifecycle deltas into the epoch
+	// bitmap (and policy join/depart hooks), epoch hooks, samples.
+	t3 := time.Now()
 	e.barrier(tEnd)
+	e.timings.Churn += time.Since(t3)
 	e.now = tEnd
 	e.windows++
+	e.timings.Windows++
+	if e.windows%trimEvery == 0 {
+		e.trim()
+	}
 	return true
+}
+
+// trim releases slack capacity from every recycled barrier buffer whose
+// backing array a traffic spike left more than 4x oversized relative to
+// its recent high-water occupancy. Runs every trimEvery windows; in steady
+// state it touches nothing.
+func (e *Engine) trim() {
+	for _, ln := range e.lanes {
+		for d := range ln.out {
+			ln.out[d].Trim()
+		}
+		ln.deaths = trimLife(ln.deaths)
+		ln.births = trimLife(ln.births)
+	}
+	if c := cap(e.mergeAll); c > 64 && c > 4*e.mergeHW {
+		e.mergeAll = make([]des.XEvent, 0, e.mergeHW)
+	}
+	e.mergeHW = 0
+	if c := cap(e.lifeScratch); c > 64 && c > 4*e.lifeHW {
+		e.lifeScratch = make([]lifeEvent, 0, e.lifeHW)
+	}
+	e.lifeHW = 0
+	// Stale run pointers in runScratch's spare capacity would pin the
+	// outbox arrays just trimmed above.
+	clear(e.runScratch[:cap(e.runScratch)])
+}
+
+// trimLife shrinks a quiescent (logically empty) lifecycle buffer that has
+// grown far beyond the trim window's needs.
+func trimLife(ls []lifeEvent) []lifeEvent {
+	if c := cap(ls); len(ls) == 0 && c > 64 {
+		return nil
+	}
+	return ls
 }
 
 // Run executes the whole horizon and finishes.
@@ -447,9 +550,29 @@ func (e *Engine) parallel(fn func(ln *Lane)) {
 	wg.Wait()
 }
 
+// warmAhead is dispatch's software-pipelining distance: while handling
+// one event, the hot per-peer state of the actor this many events ahead
+// is touched so its cache misses overlap with the current event's work.
+const warmAhead = 4
+
 // dispatch routes one event: lifecycle kinds to the engine, the rest to
 // the workload.
 func (ln *Lane) dispatch(ev des.Event) {
+	// The calendar's drain batch exposes upcoming actors; touch the
+	// warmAhead-th one's random-access state (RNG stream, balance, flags,
+	// neighbor row) now. Pure reads — a hint that never affects delivery
+	// order or simulation state.
+	if g, ok := ln.sched.UpcomingActor(warmAhead); ok {
+		e := ln.e
+		w := uint32(e.rng[g]) + uint32(e.bal[g]) + uint32(e.flags[g])
+		if nbrs := e.part.Neighbors(g); len(nbrs) > 0 {
+			w += uint32(nbrs[0])
+		}
+		if e.warmActor != nil {
+			w += e.warmActor.WarmActor(g)
+		}
+		ln.warm += w
+	}
 	switch ev.Kind {
 	case KindDepart:
 		ln.depart(ev)
@@ -474,7 +597,9 @@ func (ln *Lane) depart(ev des.Event) {
 	e.bal[g] = 0
 	e.cfg.Workload.Retire(ln, g)
 	ln.schedule(e.rng[g].Exponential(1/e.cfg.Churn.MeanDowntime), KindRejoin, g, 0)
-	ln.deaths = append(ln.deaths, lifeEvent{t: ev.Time, g: g})
+	// Deaths carry the encoded peer (-1-g) from the start, so the barrier
+	// merge consumes the lane runs without a re-encode pass.
+	ln.deaths = appendLife(ln.deaths, lifeEvent{t: ev.Time, g: -1 - g})
 }
 
 // rejoin brings a peer back online with a fresh endowment.
@@ -491,7 +616,21 @@ func (ln *Lane) rejoin(ev des.Event) {
 	ln.minted += w
 	ln.schedule(e.rng[g].Exponential(1/e.cfg.Churn.MeanLifespan), KindDepart, g, 0)
 	e.cfg.Workload.Arm(ln, g)
-	ln.births = append(ln.births, lifeEvent{t: ev.Time, g: g})
+	ln.births = appendLife(ln.births, lifeEvent{t: ev.Time, g: g})
+}
+
+// appendLife appends one lifecycle delta, keeping the lane run (time,
+// peer)-ordered. A lane dispatches events in time order, so the fix-up
+// loop only fires on float-identical times of distinct peers — it exists
+// to make mergeLife's sorted-runs precondition a construction invariant
+// rather than a statistical one.
+func appendLife(ls []lifeEvent, le lifeEvent) []lifeEvent {
+	n := len(ls)
+	ls = append(ls, le)
+	for i := n; i > 0 && lifeBefore(ls[i], ls[i-1]); i-- {
+		ls[i], ls[i-1] = ls[i-1], ls[i]
+	}
+	return ls
 }
 
 // schedule registers an event after delay on this lane; scheduling can
@@ -602,19 +741,46 @@ func (ln *Lane) deliver(xev des.XEvent) {
 	ln.supply += xev.Amount
 }
 
-// applyWithPolicies is the coordinator-side merge: one globally canonical
-// pass so income hooks (which may touch the pot and any peer) observe the
-// same sequence at every shard count.
-func (e *Engine) applyWithPolicies() {
-	bufs := make([]*des.MergeBuffer, 0, e.p*e.p)
+// collectMerged k-way-merges every lane's per-destination outboxes into
+// the recycled mergeAll scratch in canonical (time, src, seq) order — the
+// policy path's barrier merge. Each outbox is already canonically ordered
+// (des.MergeBuffer.Add maintains the invariant), so the loser tree does
+// O(M log K) work over the K = P² runs instead of re-sorting M events at
+// O(M log M).
+func (e *Engine) collectMerged() {
+	e.runScratch = e.runScratch[:0]
 	for _, src := range e.lanes {
 		for d := range src.out {
-			bufs = append(bufs, &src.out[d])
+			if evs := src.out[d].Events(); len(evs) > 0 {
+				e.runScratch = append(e.runScratch, evs)
+			}
 		}
 	}
-	e.mergeAll = des.Collect(e.mergeAll[:0], bufs)
-	h := &engineHost{e: e}
-	for _, xev := range e.mergeAll {
+	e.mergeAll = e.merger.Merge(e.mergeAll[:0], e.runScratch)
+	if len(e.mergeAll) > e.mergeHW {
+		e.mergeHW = len(e.mergeAll)
+	}
+	e.timings.MergedEvents += uint64(len(e.mergeAll))
+}
+
+// applyMerged lands the canonical sequence in one coordinator pass, so
+// income hooks (which may touch the pot and any peer) observe the same
+// sequence at every shard count.
+func (e *Engine) applyMerged() {
+	h := &e.host
+	// Read-ahead distance for the destination state: bal and flags are
+	// random-access at merged-event granularity, so at large populations
+	// each delivery starts with a cache miss. Touching the destination a
+	// few events early overlaps those misses with the deliveries in
+	// between. The warm sink keeps the loads observable.
+	const ahead = 8
+	var warm uint32
+	for i := range e.mergeAll {
+		if j := i + ahead; j < len(e.mergeAll) {
+			g := e.mergeAll[j].Dst
+			warm += uint32(e.flags[g]) + uint32(e.bal[g])
+		}
+		xev := &e.mergeAll[i]
 		dst := e.lanes[e.part.ShardOf(xev.Dst)]
 		if e.flags[xev.Dst]&aliveBit == 0 {
 			dst.lostCount++
@@ -628,29 +794,35 @@ func (e *Engine) applyWithPolicies() {
 		dst.supply += xev.Amount
 		e.engine.Income(h, xev.Dst, pre, xev.Amount)
 	}
+	e.warm = warm
 }
 
 // barrier is the coordinator step at window end tB: lifecycle deltas are
 // merged in (time, peer) order into the epoch bitmap (with policy
 // join/depart hooks), due policy epochs fire, and due samples record.
 func (e *Engine) barrier(tB float64) {
-	e.lifeScratch = e.lifeScratch[:0]
+	e.lifeRuns = e.lifeRuns[:0]
 	for _, ln := range e.lanes {
-		for _, d := range ln.deaths {
-			e.lifeScratch = append(e.lifeScratch, lifeEvent{t: d.t, g: -1 - d.g})
+		if len(ln.deaths) > 0 {
+			e.lifeRuns = append(e.lifeRuns, ln.deaths)
 		}
-		for _, b := range ln.births {
-			e.lifeScratch = append(e.lifeScratch, b)
+		if len(ln.births) > 0 {
+			e.lifeRuns = append(e.lifeRuns, ln.births)
 		}
 		e.departures += uint64(len(ln.deaths))
 		e.joins += uint64(len(ln.births))
+	}
+	e.lifeScratch = mergeLife(e.lifeScratch[:0], e.lifeRuns, &e.lifePos)
+	if len(e.lifeScratch) > e.lifeHW {
+		e.lifeHW = len(e.lifeScratch)
+	}
+	for _, ln := range e.lanes {
 		ln.deaths = ln.deaths[:0]
 		ln.births = ln.births[:0]
 	}
-	sortLife(e.lifeScratch)
 	var h *engineHost
 	if e.engine != nil {
-		h = &engineHost{e: e}
+		h = &e.host
 	}
 	for _, le := range e.lifeScratch {
 		if le.g < 0 { // death (encoded as -1-g)
@@ -680,18 +852,42 @@ func (e *Engine) barrier(tB float64) {
 	}
 }
 
-// sortLife orders lifecycle deltas by (time, peer); deaths carry encoded
-// negative peers, so same-time same-peer pairs order death-before-birth
-// consistently (a peer cannot die and rejoin at the same instant under
-// continuous draws, but the order must still be total).
-func sortLife(ls []lifeEvent) {
-	// Insertion sort: windows carry few lifecycle deltas and the per-lane
-	// runs are already time-ordered.
-	for i := 1; i < len(ls); i++ {
-		for j := i; j > 0 && lifeBefore(ls[j], ls[j-1]); j-- {
-			ls[j], ls[j-1] = ls[j-1], ls[j]
-		}
+// mergeLife appends the (time, peer)-ordered merge of the lanes'
+// lifecycle runs to dst. Deaths carry encoded negative peers, so same-time
+// same-peer pairs order death-before-birth consistently (a peer cannot die
+// and rejoin at the same instant under continuous draws, but the order
+// must still be total). Runs are few — at most two per lane, each already
+// ordered — so a linear head scan per output element beats any tree
+// bookkeeping; posp is the recycled head-cursor scratch.
+func mergeLife(dst []lifeEvent, runs [][]lifeEvent, posp *[]int) []lifeEvent {
+	if len(runs) == 1 {
+		return append(dst, runs[0]...)
 	}
+	pos := *posp
+	if cap(pos) < len(runs) {
+		pos = make([]int, len(runs))
+		*posp = pos
+	}
+	pos = pos[:len(runs)]
+	left := 0
+	for i, r := range runs {
+		pos[i] = 0
+		left += len(r)
+	}
+	for ; left > 0; left-- {
+		best := -1
+		for i, r := range runs {
+			if pos[i] >= len(r) {
+				continue
+			}
+			if best < 0 || lifeBefore(r[pos[i]], runs[best][pos[best]]) {
+				best = i
+			}
+		}
+		dst = append(dst, runs[best][pos[best]])
+		pos[best]++
+	}
+	return dst
 }
 
 func lifeBefore(a, b lifeEvent) bool {
@@ -841,6 +1037,16 @@ func (e *Engine) RunStats() Stats {
 		st.CrossTransfers += ln.crossTransfers
 	}
 	return st
+}
+
+// EventsFired returns the total events dispatched so far across all
+// lanes — the cadence counter checkpoint drivers poll between windows.
+func (e *Engine) EventsFired() uint64 {
+	var n uint64
+	for _, ln := range e.lanes {
+		n += ln.sched.Fired()
+	}
+	return n
 }
 
 // --- accessors for workloads ---

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Timings is the engine's phase-level barrier-pipeline breakdown: wall
+// time accumulated per window phase across the whole run, surfaced via
+// cmd/experiments -timing so perf work can attribute its wins. The
+// breakdown is diagnostic only — it never feeds back into the simulation,
+// so results stay deterministic with timing collection permanently on.
+//
+// Phases per window:
+//
+//	Dispatch — parallel lane event loops over [t, t+W)
+//	Merge    — k-way merge of the outboxes into canonical order
+//	         (policy path only; zero on the commutative no-policy path)
+//	Apply    — delivering buffered effects (parallel per-lane inbound
+//	         without policies, one canonical coordinator pass with them)
+//	Churn    — lifecycle merge into the epoch bitmap, policy epoch hooks,
+//	         metric samples
+type Timings struct {
+	// Windows counts completed conservative-sync windows.
+	Windows uint64
+	// MergedEvents counts effects that went through the canonical merge
+	// (policy path); the per-event merge cost is Merge/MergedEvents.
+	MergedEvents uint64
+
+	Dispatch time.Duration
+	Merge    time.Duration
+	Apply    time.Duration
+	Churn    time.Duration
+}
+
+// Total sums the phase durations.
+func (t Timings) Total() time.Duration {
+	return t.Dispatch + t.Merge + t.Apply + t.Churn
+}
+
+// Write prints the breakdown as an aligned per-phase table: total wall
+// time, share of the phase sum, and mean per window.
+func (t Timings) Write(w io.Writer) error {
+	total := t.Total()
+	if _, err := fmt.Fprintf(w, "barrier-pipeline timing over %d windows (%d merged events)\n",
+		t.Windows, t.MergedEvents); err != nil {
+		return err
+	}
+	phases := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"dispatch", t.Dispatch},
+		{"merge", t.Merge},
+		{"apply", t.Apply},
+		{"churn", t.Churn},
+	}
+	for _, ph := range phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(ph.d) / float64(total)
+		}
+		per := time.Duration(0)
+		if t.Windows > 0 {
+			per = ph.d / time.Duration(t.Windows)
+		}
+		if _, err := fmt.Fprintf(w, "  %-8s %12v  %5.1f%%  %12v/window\n",
+			ph.name, ph.d.Round(time.Microsecond), share, per.Round(time.Nanosecond)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  %-8s %12v\n", "total", total.Round(time.Microsecond))
+	return err
+}
+
+// Timings returns the accumulated phase breakdown so far; call after
+// Finish for the whole run's totals.
+func (e *Engine) Timings() Timings { return e.timings }

@@ -1,6 +1,9 @@
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Partition is a read-only CSR snapshot of a dense overlay, split into P
 // contiguous shard segments for the sharded kernel. Peers are partitioned
@@ -25,6 +28,12 @@ type Partition struct {
 	n     int
 	p     int
 	block int
+	// blockMul/blockShift are the Granlund–Montgomery constants for exact
+	// division by block via one multiply and shift: ShardOf sits on the
+	// merged-effect apply and cross-shard routing hot paths, where a
+	// hardware divide per event is measurable.
+	blockMul   uint64
+	blockShift uint
 	// offs/nbrs are the CSR arrays over global dense indices: the
 	// neighbors of peer i are nbrs[offs[i]:offs[i+1]], ascending.
 	offs []int64
@@ -53,11 +62,12 @@ func NewPartition(g *Graph, p int) (*Partition, error) {
 		cross:    make([]int64, p),
 		boundary: make([][]int32, p),
 	}
+	if pt.block == 0 { // p > n, or an empty graph
+		pt.block = 1
+	}
+	pt.blockMul, pt.blockShift = blockMagic(pt.block)
 	if n == 0 {
 		return pt, nil
-	}
-	if pt.block == 0 { // p > n
-		pt.block = 1
 	}
 	total := 0
 	for i := 0; i < n; i++ {
@@ -93,8 +103,21 @@ func (pt *Partition) N() int { return pt.n }
 // Shards returns the shard count P.
 func (pt *Partition) Shards() int { return pt.p }
 
+// blockMagic returns the exact multiply-shift constants for division by
+// block (Granlund & Montgomery): with l = ceil(log2 block) and
+// m = floor(2^(32+l)/block) + 1, every dividend below 2^32 satisfies
+// (i*m)>>(32+l) == i/block, and m <= 2^33 keeps the 64-bit product from
+// overflowing for int32 indices. The unit test sweeps block-boundary
+// dividends to pin the equivalence.
+func blockMagic(block int) (mul uint64, shift uint) {
+	l := uint(bits.Len32(uint32(block) - 1))
+	return (uint64(1)<<(32+l))/uint64(block) + 1, 32 + l
+}
+
 // ShardOf returns the shard owning global index i.
-func (pt *Partition) ShardOf(i int32) int { return int(i) / pt.block }
+func (pt *Partition) ShardOf(i int32) int {
+	return int((uint64(uint32(i)) * pt.blockMul) >> pt.blockShift)
+}
 
 // Range returns shard s's global index range [lo, hi).
 func (pt *Partition) Range(s int) (lo, hi int32) {

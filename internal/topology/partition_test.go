@@ -124,3 +124,37 @@ func TestPartitionMoreShardsThanPeers(t *testing.T) {
 		t.Fatalf("P>N ranges cover %d of 3 peers", seen)
 	}
 }
+
+// TestShardOfMatchesDivision pins the multiply-shift ShardOf against plain
+// integer division for adversarial block sizes: powers of two, one off
+// either side, primes, tiny and near-2^31 blocks, with dividends swept
+// around every multiple-of-block boundary in range plus random probes.
+func TestShardOfMatchesDivision(t *testing.T) {
+	blocks := []int{1, 2, 3, 5, 7, 8, 9, 31, 32, 33, 100, 125000, 1 << 20, (1 << 20) + 1, (1 << 30) - 1, 1 << 30, (1 << 30) + 1}
+	rng := xrand.New(11)
+	const maxID = int64(1)<<31 - 1
+	for _, b := range blocks {
+		pt := &Partition{block: b}
+		pt.blockMul, pt.blockShift = blockMagic(b)
+		check := func(i int64) {
+			if i < 0 || i > maxID {
+				return
+			}
+			if got, want := pt.ShardOf(int32(i)), int(i)/b; got != want {
+				t.Fatalf("ShardOf(%d) with block %d = %d, want %d", i, b, got, want)
+			}
+		}
+		for k := int64(0); k <= 3; k++ {
+			at := k * int64(b)
+			check(at - 1)
+			check(at)
+			check(at + 1)
+		}
+		for _, at := range []int64{maxID, maxID - 1, maxID / int64(b) * int64(b), maxID/int64(b)*int64(b) - 1} {
+			check(at)
+		}
+		for k := 0; k < 2000; k++ {
+			check(int64(rng.Intn(int(maxID))))
+		}
+	}
+}
