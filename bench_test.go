@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"creditp2p/internal/core"
 	"creditp2p/internal/des"
@@ -690,6 +691,123 @@ func benchShardMarketXLarge(b *testing.B, shards int) {
 
 func BenchmarkShardMarketXLarge(b *testing.B)  { benchShardMarketXLarge(b, 1) }
 func BenchmarkShardMarketXLarge8(b *testing.B) { benchShardMarketXLarge(b, 8) }
+
+// The Checkpoint trio measures the barrier-visible checkpoint stall on
+// the 1M-peer sharded market at eight lanes — the BENCH_9 acceptance
+// A/B. All three run the identical simulation at the identical cadence
+// (one checkpoint per conservative-sync window, on a fine 1e-4 window:
+// the lose-at-most-a-window fault-tolerance regime frequent checkpoints
+// exist for) and differ only in the mechanism:
+//
+//   - FullSerial:     data := sim.Snapshot() inline at the barrier — the
+//     legacy synchronous path (its file write is excluded, which only
+//     flatters the baseline).
+//   - FullPipelined:  Checkpointer with Delta off — parallel fragment
+//     encode at the barrier, seal+write on the background goroutine.
+//   - Delta:          Checkpointer with Delta on — only dirty segments
+//     staged, chained to a base written before the measured loop.
+//
+// The reported stall-ns/checkpoint is the time the simulation is
+// actually blocked at the barrier; bytes/checkpoint is the sealed output
+// size (for Delta, the per-delta link size). Sinks discard, so disk
+// speed never enters the comparison.
+
+// discardSink counts sealed checkpoint bytes without keeping them.
+type discardSink struct{ bytes uint64 }
+
+func (d *discardSink) WriteBase(p []byte) error { d.bytes += uint64(len(p)); return nil }
+func (d *discardSink) WriteDelta(i int, p []byte) error {
+	d.bytes += uint64(len(p))
+	return nil
+}
+
+func benchShardCheckpoint(b *testing.B, pipelined, delta bool) {
+	const (
+		peers       = 1_000_000
+		shards      = 8
+		warmup      = 16
+		checkpoints = 12
+	)
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: peers, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var stall time.Duration
+	var encBytes uint64
+	total := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := market.NewShard(market.ShardConfig{Mu: 1, Amount: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := shard.NewSim(shard.Config{
+			Graph:         g,
+			Shards:        shards,
+			Horizon:       5,
+			Window:        1e-4,
+			Seed:          8,
+			InitialWealth: 20,
+			Queue:         des.Calendar,
+			Workload:      w,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sim.Start(); err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < warmup; k++ {
+			if !sim.StepWindow() {
+				b.Fatal("horizon inside warmup")
+			}
+		}
+		if !pipelined {
+			for c := 0; c < checkpoints; c++ {
+				if !sim.StepWindow() {
+					b.Fatal("horizon inside the checkpoint loop")
+				}
+				t0 := time.Now()
+				data := sim.Snapshot()
+				stall += time.Since(t0)
+				encBytes += uint64(len(data))
+			}
+		} else {
+			sink := &discardSink{}
+			ck := shard.NewCheckpointer(sim.Engine(), sink, shard.CheckpointOptions{Delta: delta})
+			if delta {
+				// Anchor the chain outside the measured loop: the measured
+				// checkpoints are all deltas (cadence 12 < default re-base 16).
+				if err := ck.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				sink.bytes = 0
+			}
+			for c := 0; c < checkpoints; c++ {
+				if !sim.StepWindow() {
+					b.Fatal("horizon inside the checkpoint loop")
+				}
+				t0 := time.Now()
+				if err := ck.Checkpoint(); err != nil {
+					b.Fatal(err)
+				}
+				stall += time.Since(t0)
+			}
+			if err := ck.Close(); err != nil {
+				b.Fatal(err)
+			}
+			encBytes += sink.bytes
+		}
+		total += checkpoints
+	}
+	b.ReportMetric(float64(stall.Nanoseconds())/float64(total), "stall-ns/checkpoint")
+	b.ReportMetric(float64(encBytes)/float64(total), "bytes/checkpoint")
+}
+
+func BenchmarkShardCheckpointFullSerial(b *testing.B)    { benchShardCheckpoint(b, false, false) }
+func BenchmarkShardCheckpointFullPipelined(b *testing.B) { benchShardCheckpoint(b, true, false) }
+func BenchmarkShardCheckpointDelta(b *testing.B)         { benchShardCheckpoint(b, true, true) }
 
 // BenchmarkShardMarket10M is the ten-million-peer single run. The ring
 // overlay keeps graph generation out of the interesting cost (scale-free

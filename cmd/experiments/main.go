@@ -15,6 +15,8 @@
 //	experiments -scenario flash-crowd -preset large -shards 8 -timing
 //	experiments -scenario flash-crowd -shards 4 -checkpoint-every 50000 -checkpoint run.snap
 //	experiments -scenario flash-crowd -shards 4 -restore run.snap
+//	experiments -scenario flash-crowd -shards 4 -checkpoint-every 50000 -checkpoint run.snap -checkpoint-delta
+//	experiments -scenario flash-crowd -shards 4 -restore run.snap -checkpoint-delta
 //	experiments -id policy-sweep
 //	experiments -taxrates 0.05,0.1,0.2 [-preset full]
 //
@@ -34,7 +36,17 @@
 // -checkpoint file every N events; -restore resumes a crashed run from such
 // a file and produces byte-identical output to the uninterrupted run. Both
 // compose with -shards (sharded snapshots land at the first window barrier
-// after each cadence mark).
+// after each cadence mark). All snapshot files are written
+// write-to-temp / fsync / rename / fsync-directory, so a crash or power
+// cut mid-checkpoint always leaves a complete snapshot behind.
+//
+// -checkpoint-delta (sharded runs only) switches checkpointing to
+// base+delta chains: full snapshots anchor the chain, and between them
+// only the dirty segments of the run's state are written (run.snap plus
+// run.snap.d001, run.snap.d002, ...), with the seal and file I/O
+// overlapped with the simulation. -rebase-every bounds the chain length.
+// -restore with -checkpoint-delta loads and validates the whole chain;
+// the resumed run is byte-identical either way.
 //
 // -timing prints the sharded kernel's phase-level barrier-pipeline
 // breakdown (dispatch / merge / apply / churn) after the report.
@@ -51,6 +63,7 @@ import (
 
 	"creditp2p"
 	"creditp2p/internal/scenario"
+	"creditp2p/internal/snapshot"
 )
 
 func main() {
@@ -76,6 +89,8 @@ func run(args []string) error {
 	restorePath := fs.String("restore", "", "with -scenario: resume from this snapshot file instead of starting fresh")
 	shards := fs.Int("shards", 1, "with -scenario: run on the sharded multi-core kernel with this many lanes (1 = the classic single-threaded engines)")
 	timing := fs.Bool("timing", false, "with -scenario -shards > 1: print the phase-level barrier-pipeline timing breakdown after the report")
+	checkpointDelta := fs.Bool("checkpoint-delta", false, "with -scenario -shards > 1: write base+delta checkpoint chains with overlapped I/O instead of synchronous full snapshots")
+	rebaseEvery := fs.Int("rebase-every", 0, "with -checkpoint-delta: deltas per base before the chain re-anchors (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -141,9 +156,13 @@ func run(args []string) error {
 		if *timing && *shards <= 1 {
 			return fmt.Errorf("-timing needs -shards > 1 (the single-threaded engines have no barrier pipeline)")
 		}
+		if *checkpointDelta && *shards <= 1 {
+			return fmt.Errorf("-checkpoint-delta needs -shards > 1 (delta chains are a sharded-kernel feature)")
+		}
 		if *shards > 1 {
 			return runScenarioSharded(*scenarioName, *presetName, *shards,
-				*checkpointEvery, *checkpointPath, *restorePath, *timing)
+				*checkpointEvery, *checkpointPath, *restorePath, *timing,
+				*checkpointDelta, *rebaseEvery)
 		}
 		if *checkpointEvery > 0 || *restorePath != "" {
 			return runScenarioResumable(*scenarioName, *presetName, *checkpointEvery, *checkpointPath, *restorePath)
@@ -164,7 +183,7 @@ func run(args []string) error {
 // optionally with checkpoint/restore and the phase-timing breakdown. The
 // report gains a "shards" row; results are byte-identical across shard
 // counts by the sharded kernel's invariance contract.
-func runScenarioSharded(name, presetName string, shards, every int, ckPath, restorePath string, timing bool) error {
+func runScenarioSharded(name, presetName string, shards, every int, ckPath, restorePath string, timing, delta bool, rebaseEvery int) error {
 	scale, err := parseScale(presetName)
 	if err != nil {
 		return err
@@ -173,7 +192,12 @@ func runScenarioSharded(name, presetName string, shards, every int, ckPath, rest
 	if err != nil {
 		return err
 	}
-	rs, err := resumeSpec(every, ckPath, restorePath)
+	var rs scenario.Resume
+	if delta {
+		rs, err = resumeChainSpec(every, ckPath, restorePath, rebaseEvery)
+	} else {
+		rs, err = resumeSpec(every, ckPath, restorePath)
+	}
 	if err != nil {
 		return err
 	}
@@ -212,17 +236,34 @@ func resumeSpec(every int, ckPath, restorePath string) (scenario.Resume, error) 
 	return rs, nil
 }
 
-// atomicSink writes each snapshot write-then-rename, so a crash
-// mid-checkpoint leaves the previous snapshot intact instead of a torn
-// file.
+// atomicSink writes each snapshot via snapshot.WriteFileAtomic
+// (write-to-temp, fsync, rename, fsync-directory), so a crash or power
+// cut mid-checkpoint leaves the previous snapshot intact instead of a
+// torn file — and the rename itself is durable.
 func atomicSink(ckPath string) func([]byte) error {
 	return func(data []byte) error {
-		tmp := ckPath + ".tmp"
-		if err := os.WriteFile(tmp, data, 0o644); err != nil {
-			return err
-		}
-		return os.Rename(tmp, ckPath)
+		return snapshot.WriteFileAtomic(ckPath, data)
 	}
+}
+
+// resumeChainSpec assembles the delta-chain Resume wiring: a ChainStore
+// sink rooted at ckPath for the cadence, and the stored chain's links
+// (validated end to end) when resuming.
+func resumeChainSpec(every int, ckPath, restorePath string, rebaseEvery int) (scenario.Resume, error) {
+	rs := scenario.Resume{Delta: true, RebaseEvery: rebaseEvery}
+	if every > 0 {
+		rs.CheckpointEvery = every
+		rs.ChainSink = &snapshot.ChainStore{Path: ckPath}
+	}
+	if restorePath != "" {
+		st := snapshot.ChainStore{Path: restorePath}
+		chain, err := st.Load()
+		if err != nil {
+			return rs, fmt.Errorf("restore: %w", err)
+		}
+		rs.Chain = chain
+	}
+	return rs, nil
 }
 
 // parseScale maps the -preset flag to a scenario scale.

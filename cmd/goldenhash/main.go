@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -236,6 +237,91 @@ func runShard(mk func() shard.Config, resume bool) (*shard.Result, error) {
 	return sim.Finish()
 }
 
+// memChain is the drill's in-memory chain sink. It copies every link:
+// the checkpointer recycles its sealed buffer once a write returns.
+type memChain struct {
+	chain [][]byte
+}
+
+func (m *memChain) WriteBase(data []byte) error {
+	m.chain = [][]byte{append([]byte(nil), data...)}
+	return nil
+}
+
+func (m *memChain) WriteDelta(index int, data []byte) error {
+	m.chain = append(m.chain, append([]byte(nil), data...))
+	return nil
+}
+
+// runShardDelta is the delta-chain crash/resume drill: a clean run counts
+// the windows; a second run checkpoints through a pipelined delta
+// checkpointer (short re-base cadence, so the chain holds a base plus
+// several deltas) and crashes a third of the way in; a fresh engine
+// restores the base+deltas chain. The restored state must be
+// byte-identical to a full snapshot of the crashed run at the same
+// barrier, and the finished run's fingerprint is printed for the
+// default-vs-delta-resume diff.
+func runShardDelta(mk func() shard.Config) (*shard.Result, error) {
+	sim, err := shard.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Start(); err != nil {
+		return nil, err
+	}
+	windows := 0
+	for sim.StepWindow() {
+		windows++
+	}
+	if _, err := sim.Finish(); err != nil {
+		return nil, err
+	}
+
+	sim, err = shard.NewSim(mk())
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.Start(); err != nil {
+		return nil, err
+	}
+	sink := &memChain{}
+	ck := shard.NewCheckpointer(sim.Engine(), sink, shard.CheckpointOptions{
+		Delta:       true,
+		RebaseEvery: 4,
+	})
+	crash := windows / 3
+	every := crash / 8
+	if every < 1 {
+		every = 1
+	}
+	for i := 0; i < crash && sim.StepWindow(); i++ {
+		if (i+1)%every == 0 && i+1 < crash {
+			if err := ck.Checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := ck.Checkpoint(); err != nil {
+		return nil, err
+	}
+	if err := ck.Close(); err != nil {
+		return nil, err
+	}
+	full := sim.Snapshot() // reference full capture at the crash barrier
+
+	restored, err := shard.RestoreChain(mk(), sink.chain)
+	if err != nil {
+		return nil, err
+	}
+	if got := restored.Snapshot(); !bytes.Equal(got, full) {
+		return nil, fmt.Errorf("chain restore (%d links) diverges from the full snapshot: %d vs %d bytes",
+			len(sink.chain), len(got), len(full))
+	}
+	for restored.StepWindow() {
+	}
+	return restored.Finish()
+}
+
 // runStreaming is runMarket's streaming counterpart.
 func runStreaming(mk func() streaming.Config, resume bool) (*streaming.Result, error) {
 	if !resume {
@@ -273,8 +359,49 @@ func runStreaming(mk func() streaming.Config, resume bool) (*streaming.Result, e
 	return m.Finish()
 }
 
+// shardLines prints the sharded-kernel fingerprint lines. These print in
+// every mode: the default mode pins the sharded model's outputs (which
+// must also be identical for every -shards value), -resume runs the
+// sharded crash/snapshot/restore drill, and -delta-resume runs the
+// delta-chain variant — so diffing any mode against the default asserts
+// byte-identical recovery for the sharded engine.
+func shardLines(shards int, resume, deltaResume bool) {
+	cases := []struct {
+		name   string
+		preset string
+	}{
+		{"market-churn", "flash-crowd"},
+		{"market-policy", "demurrage"},
+		{"streaming-tax", "taxed-streaming"},
+	}
+	for _, c := range cases {
+		sc, err := scenario.Get(c.preset)
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		mk := func() shard.Config {
+			cfg, err := sc.ShardConfig(scenario.ScaleQuick, shards)
+			if err != nil {
+				panic(c.name + ": " + err.Error())
+			}
+			return cfg
+		}
+		var res *shard.Result
+		if deltaResume {
+			res, err = runShardDelta(mk)
+		} else {
+			res, err = runShard(mk, resume)
+		}
+		if err != nil {
+			panic(c.name + ": " + err.Error())
+		}
+		fmt.Printf("shard/%-19s %016x\n", c.name, res.Fingerprint())
+	}
+}
+
 func main() {
 	resume := flag.Bool("resume", false, "run every combo through the crash/snapshot/restore drill and print the resumed hashes (scenario lines omitted)")
+	deltaResume := flag.Bool("delta-resume", false, "run only the shard/* combos, through the delta-chain crash/resume drill: checkpoint via a pipelined base+deltas chain, crash a third in, restore the chain (asserting byte-identity with a full snapshot) and finish")
 	queue := flag.String("queue", "", "override the market event-queue backend: heap or calendar")
 	fast := flag.Bool("fast", false, "override the market combos to Fenwick-backed fast sampling")
 	shards := flag.Int("shards", 1, "lane count for the shard/* lines; the sharded kernel's invariance contract makes the printed hashes identical for any value")
@@ -291,6 +418,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "goldenhash: unknown -queue %q (want heap or calendar)\n", *queue)
 		os.Exit(2)
 	}
+	if *deltaResume {
+		// Only the sharded kernel has delta chains; print just its lines,
+		// in the default mode's format, for the default-vs-delta diff.
+		shardLines(*shards, false, true)
+		return
+	}
+
 	// override applies the -queue/-fast sweep axes to a market config.
 	override := func(mk func() market.Config) func() market.Config {
 		return func() market.Config {
@@ -469,37 +603,7 @@ func main() {
 		fmt.Printf("streaming-policy/%-22s %016x\n", c.name, hashStreamingPolicy(res))
 	}
 
-	// Sharded-kernel fingerprints. These lines print in both modes: the
-	// default mode pins the sharded model's outputs (which must also be
-	// identical for every -shards value), and -resume runs the sharded
-	// crash/snapshot/restore drill — so the existing default-vs-resume
-	// diff covers the sharded engine too.
-	shardCases := []struct {
-		name   string
-		preset string
-	}{
-		{"market-churn", "flash-crowd"},
-		{"market-policy", "demurrage"},
-		{"streaming-tax", "taxed-streaming"},
-	}
-	for _, c := range shardCases {
-		sc, err := scenario.Get(c.preset)
-		if err != nil {
-			panic(c.name + ": " + err.Error())
-		}
-		mk := func() shard.Config {
-			cfg, err := sc.ShardConfig(scenario.ScaleQuick, *shards)
-			if err != nil {
-				panic(c.name + ": " + err.Error())
-			}
-			return cfg
-		}
-		res, err := runShard(mk, *resume)
-		if err != nil {
-			panic(c.name + ": " + err.Error())
-		}
-		fmt.Printf("shard/%-19s %016x\n", c.name, res.Fingerprint())
-	}
+	shardLines(*shards, *resume, false)
 
 	if *resume {
 		// Scenario presets are config sugar over the same two simulators;

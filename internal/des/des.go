@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"creditp2p/internal/snapshot"
 )
 
 // ErrPastTime is returned when an event is scheduled before the current
@@ -105,18 +107,35 @@ const (
 	Calendar
 )
 
+// slab dirty-segment granularity: slabSegSize slots per segment. A
+// segment's per-field spans total ~18 KB — coarse enough that per-segment
+// framing overhead vanishes, fine enough that a checkpoint window touching
+// a fraction of the slab writes a matching fraction of the bytes. The LIFO
+// free list concentrates slot churn, so a stable pending set re-dirties
+// the same few segments window after window.
+const (
+	slabSegShift = 9
+	slabSegSize  = 1 << slabSegShift
+)
+
 // Scheduler owns virtual time and the pending event set. It is not safe for
 // concurrent use; a simulation is a single-goroutine loop.
 type Scheduler struct {
 	now     float64
 	seq     uint64
 	slab    []node
+	seqOf   []uint64       // per-slot seq of the occupying entry (slab-parallel)
 	free    []int32        // recycled slab slots
 	heap    []heapEntry    // 4-ary min-heap keyed by (time, seq)
 	cal     *calendarQueue // calendar queue; nil means the heap is active
 	live    int            // scheduled and not cancelled
 	fired   uint64
 	dropped uint64
+	// dirty tracks slab segments touched since the last state capture —
+	// the delta-checkpoint bookkeeping, maintained on every slot mutation.
+	dirty snapshot.DirtyBits
+	// enc is the recycled per-field extraction scratch for state captures.
+	enc *encScratch
 	// warm sinks the read-ahead loads in pop so the compiler cannot drop
 	// them; the value itself is meaningless and never read. warmPos is
 	// the drain-batch index slab warming has reached.
@@ -162,7 +181,9 @@ func (s *Scheduler) ScheduleAt(t float64, kind uint16, actor int32, payload int6
 		s.free = s.free[:n-1]
 	} else {
 		s.slab = append(s.slab, node{})
+		s.seqOf = append(s.seqOf, 0)
 		slot = int32(len(s.slab)) // 1-based
+		s.dirty.Grow((len(s.slab) + slabSegSize - 1) >> slabSegShift)
 	}
 	nd := &s.slab[slot-1]
 	nd.time = t
@@ -170,6 +191,8 @@ func (s *Scheduler) ScheduleAt(t float64, kind uint16, actor int32, payload int6
 	nd.actor = actor
 	nd.kind = kind
 	nd.state = slotLive
+	s.seqOf[slot-1] = s.seq
+	s.markSlot(slot)
 	if s.cal != nil {
 		s.cal.push(t, s.seq, slot)
 	} else {
@@ -199,6 +222,7 @@ func (s *Scheduler) Cancel(h Handle) bool {
 		return false
 	}
 	nd.state = slotDead
+	s.markSlot(h.slot)
 	s.live--
 	return true
 }
@@ -374,7 +398,11 @@ func (s *Scheduler) recycle(slot int32) {
 	nd.state = slotFree
 	nd.gen++
 	s.free = append(s.free, slot)
+	s.markSlot(slot)
 }
+
+// markSlot flags the slab segment holding slot dirty.
+func (s *Scheduler) markSlot(slot int32) { s.dirty.Mark(int(slot-1) >> slabSegShift) }
 
 // --- 4-ary heap of (time, seq, slot) entries ---
 

@@ -18,12 +18,67 @@ func UnpackHandle(v uint64) Handle {
 	return Handle{slot: int32(uint32(v)), gen: uint32(v >> 32)}
 }
 
+// encScratch holds the recycled per-field extraction buffers SaveState and
+// SaveDelta transpose slab segments through: the slab is AoS in memory but
+// per-field on disk (layout independent of struct packing), and recycling
+// the transpose buffers keeps periodic checkpoints allocation-free in
+// steady state.
+type encScratch struct {
+	times    []float64
+	payloads []int64
+	actors   []int32
+	gens     []uint32
+	kinds    []uint16
+	states   []uint8
+}
+
+func (s *Scheduler) scratch(n int) *encScratch {
+	if s.enc == nil {
+		s.enc = &encScratch{}
+	}
+	e := s.enc
+	if cap(e.times) < n {
+		e.times = make([]float64, n)
+		e.payloads = make([]int64, n)
+		e.actors = make([]int32, n)
+		e.gens = make([]uint32, n)
+		e.kinds = make([]uint16, n)
+		e.states = make([]uint8, n)
+	}
+	e.times = e.times[:n]
+	e.payloads = e.payloads[:n]
+	e.actors = e.actors[:n]
+	e.gens = e.gens[:n]
+	e.kinds = e.kinds[:n]
+	e.states = e.states[:n]
+	return e
+}
+
+// transpose extracts slab[lo:hi] into the scratch's per-field buffers.
+func (s *Scheduler) transpose(lo, hi int) *encScratch {
+	e := s.scratch(hi - lo)
+	for i := lo; i < hi; i++ {
+		nd := &s.slab[i]
+		j := i - lo
+		e.times[j] = nd.time
+		e.payloads[j] = nd.payload
+		e.actors[j] = nd.actor
+		e.gens[j] = nd.gen
+		e.kinds[j] = nd.kind
+		e.states[j] = nd.state
+	}
+	return e
+}
+
 // SaveState serializes the scheduler: virtual time, counters, the full slab
-// (per-field, so the layout on disk is independent of struct packing), the
-// free list, and the pending multiset as (seq, slot) pairs sorted by seq —
-// a canonical order independent of the active queue backend's internal
-// arrangement. Cancelled-but-unpopped entries are included; their lazy
-// recycling order is part of the deterministic free-list evolution.
+// (per-field plus each slot's seq, so the layout on disk is independent of
+// struct packing and of the active queue backend), and the free list. The
+// pending multiset is NOT stored: it is exactly the non-free slots, ordered
+// by their seq — restore derives it, moving the sort from every checkpoint
+// to the rare restore. Cancelled-but-unpopped entries are included via
+// their slot state; their lazy recycling order is part of the deterministic
+// free-list evolution. Capturing clears the slab's dirty map: the snapshot
+// is a fresh delta base.
 func (s *Scheduler) SaveState(w *snapshot.Writer) {
 	w.Section("sched")
 	w.F64(s.now)
@@ -32,58 +87,148 @@ func (s *Scheduler) SaveState(w *snapshot.Writer) {
 	w.U64(s.dropped)
 	w.Int(s.live)
 
-	n := len(s.slab)
-	times := make([]float64, n)
-	payloads := make([]int64, n)
-	actors := make([]int32, n)
-	gens := make([]uint32, n)
-	kinds := make([]uint16, n)
-	states := make([]uint8, n)
-	for i, nd := range s.slab {
-		times[i] = nd.time
-		payloads[i] = nd.payload
-		actors[i] = nd.actor
-		gens[i] = nd.gen
-		kinds[i] = nd.kind
-		states[i] = nd.state
-	}
-	w.F64s(times)
-	w.I64s(payloads)
-	w.I32s(actors)
-	w.U32s(gens)
-	w.U16s(kinds)
-	w.U8s(states)
+	e := s.transpose(0, len(s.slab))
+	w.F64s(e.times)
+	w.I64s(e.payloads)
+	w.I32s(e.actors)
+	w.U32s(e.gens)
+	w.U16s(e.kinds)
+	w.U8s(e.states)
+	w.U64s(s.seqOf)
 	w.I32s(s.free)
-
-	seqs, slots := s.pendingEntries()
-	w.U64s(seqs)
-	w.I32s(slots)
+	s.dirty.Clear()
 }
 
-// pendingEntries collects every queued entry (live and cancelled alike)
-// from whichever backend is active, sorted ascending by seq.
-func (s *Scheduler) pendingEntries() ([]uint64, []int32) {
+// SaveDelta serializes only the slab segments touched since the last
+// capture (full or delta), plus the scalars and the free list — the
+// incremental complement of SaveState. The dirty map is cleared: the delta
+// extends the chain, and the next delta is relative to this one.
+func (s *Scheduler) SaveDelta(w *snapshot.Writer) {
+	w.Section("dsched")
+	w.F64(s.now)
+	w.U64(s.seq)
+	w.U64(s.fired)
+	w.U64(s.dropped)
+	w.Int(s.live)
+	w.Int(len(s.slab))
+	w.I32s(s.free)
+	w.Int(s.dirty.Count())
+	s.dirty.Walk(func(seg int) {
+		lo := seg << slabSegShift
+		hi := lo + slabSegSize
+		if hi > len(s.slab) {
+			hi = len(s.slab)
+		}
+		w.U32(uint32(seg))
+		e := s.transpose(lo, hi)
+		w.F64s(e.times)
+		w.I64s(e.payloads)
+		w.I32s(e.actors)
+		w.U32s(e.gens)
+		w.U16s(e.kinds)
+		w.U8s(e.states)
+		w.U64s(s.seqOf[lo:hi])
+	})
+	s.dirty.Clear()
+}
+
+// ApplyDelta patches a delta serialized by SaveDelta into the receiver,
+// which must already hold the chain's preceding state. The queue backend is
+// NOT rebuilt — apply every delta in the chain, then call RebuildQueue
+// once. Chain-order integrity (base id, link index, predecessor CRC) is the
+// caller's concern via snapshot.ValidateChain.
+func (s *Scheduler) ApplyDelta(r *snapshot.Reader) error {
+	r.Section("dsched")
+	now := r.F64()
+	seq := r.U64()
+	fired := r.U64()
+	dropped := r.U64()
+	live := r.Int()
+	slabLen := r.Int()
+	free := r.I32s(0)
+	segs := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if slabLen < len(s.slab) {
+		return fmt.Errorf("des: delta shrinks the slab from %d to %d slots", len(s.slab), slabLen)
+	}
+	for len(s.slab) < slabLen {
+		s.slab = append(s.slab, node{})
+		s.seqOf = append(s.seqOf, 0)
+	}
+	for _, sl := range free {
+		if sl < 1 || int(sl) > slabLen {
+			return fmt.Errorf("des: delta free list references slot %d outside the %d-slot slab", sl, slabLen)
+		}
+	}
+	maxSeg := (slabLen + slabSegSize - 1) >> slabSegShift
+	for k := 0; k < segs; k++ {
+		seg := int(r.U32())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if seg < 0 || seg >= maxSeg {
+			return fmt.Errorf("des: delta segment %d outside the %d-segment slab", seg, maxSeg)
+		}
+		lo := seg << slabSegShift
+		hi := lo + slabSegSize
+		if hi > slabLen {
+			hi = slabLen
+		}
+		n := hi - lo
+		times := r.F64s(n)
+		payloads := r.I64s(n)
+		actors := r.I32s(n)
+		gens := r.U32s(n)
+		kinds := r.U16s(n)
+		states := r.U8s(n)
+		seqs := r.U64s(n)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if len(times) != n || len(payloads) != n || len(actors) != n || len(gens) != n ||
+			len(kinds) != n || len(states) != n || len(seqs) != n {
+			return fmt.Errorf("des: delta segment %d spans %d/%d/%d/%d/%d/%d/%d slots, want %d",
+				seg, len(times), len(payloads), len(actors), len(gens), len(kinds), len(states), len(seqs), n)
+		}
+		for i := 0; i < n; i++ {
+			s.slab[lo+i] = node{
+				time:    times[i],
+				payload: payloads[i],
+				actor:   actors[i],
+				gen:     gens[i],
+				kind:    kinds[i],
+				state:   states[i],
+			}
+		}
+		copy(s.seqOf[lo:hi], seqs)
+	}
+	s.now = now
+	s.seq = seq
+	s.fired = fired
+	s.dropped = dropped
+	s.live = live
+	s.free = free
+	s.dirty.Grow(maxSeg)
+	s.dirty.Clear()
+	return nil
+}
+
+// pendingFromSlab derives the queued multiset — every non-free slot,
+// ascending by seq — from the slab states. seq values are unique, so the
+// order is total and backend-independent.
+func (s *Scheduler) pendingFromSlab() ([]uint64, []int32) {
 	type pair struct {
 		seq  uint64
 		slot int32
 	}
 	var ps []pair
-	if s.cal != nil {
-		q := s.cal
-		for _, head := range q.heads {
-			for sl := head; sl != 0; sl = q.slots[sl-1].next {
-				ps = append(ps, pair{seq: q.slots[sl-1].seq, slot: sl})
-			}
-		}
-		for _, e := range q.drain[q.pos:] {
-			ps = append(ps, pair{seq: e.seq, slot: e.slot})
-		}
-	} else {
-		for _, e := range s.heap {
-			ps = append(ps, pair{seq: e.seq, slot: e.slot})
+	for i := range s.slab {
+		if s.slab[i].state != slotFree {
+			ps = append(ps, pair{seq: s.seqOf[i], slot: int32(i + 1)})
 		}
 	}
-	// seq values are unique, so ordering by seq alone is total.
 	slices.SortFunc(ps, func(a, b pair) int {
 		if a.seq < b.seq {
 			return -1
@@ -99,10 +244,35 @@ func (s *Scheduler) pendingEntries() ([]uint64, []int32) {
 	return seqs, slots
 }
 
+// RebuildQueue reconstructs the active backend's pending set from the slab
+// — the epilogue of a state or chain restore. Both backends deliver the
+// exact (time, seq) order, so resumed runs are byte-identical regardless of
+// which backend wrote the snapshot.
+func (s *Scheduler) RebuildQueue() {
+	seqs, slots := s.pendingFromSlab()
+	if s.cal != nil {
+		q := newCalendarQueue()
+		// Pre-grow the per-slot entry storage: push assumes slots are
+		// handed out in slab order, which does not hold when rebuilding an
+		// arbitrary pending set.
+		q.slots = make([]calSlot, len(s.slab))
+		s.cal = q
+		for i, sl := range slots {
+			q.push(s.slab[sl-1].time, seqs[i], sl)
+		}
+	} else {
+		s.heap = make([]heapEntry, 0, len(slots))
+		for i, sl := range slots {
+			s.heap = append(s.heap, heapEntry{time: s.slab[sl-1].time, seq: seqs[i], slot: sl})
+			s.up(len(s.heap) - 1)
+		}
+	}
+	s.warmPos = 0
+}
+
 // LoadState restores a scheduler serialized by SaveState into the receiver,
-// which keeps its own queue backend: the pending set is rebuilt into either
-// backend, and both deliver the exact (time, seq) order, so resumed runs
-// are byte-identical regardless of which backend wrote the snapshot.
+// which keeps its own queue backend: the pending set is derived from the
+// slot states and rebuilt into either backend.
 func (s *Scheduler) LoadState(r *snapshot.Reader) error {
 	r.Section("sched")
 	now := r.F64()
@@ -117,23 +287,16 @@ func (s *Scheduler) LoadState(r *snapshot.Reader) error {
 	gens := r.U32s(0)
 	kinds := r.U16s(0)
 	states := r.U8s(0)
+	seqs := r.U64s(0)
 	free := r.I32s(0)
-	pendSeqs := r.U64s(0)
-	pendSlots := r.I32s(0)
 	if err := r.Err(); err != nil {
 		return err
 	}
 	n := len(times)
-	if len(payloads) != n || len(actors) != n || len(gens) != n || len(kinds) != n || len(states) != n {
-		return fmt.Errorf("des: slab field lengths disagree (%d/%d/%d/%d/%d/%d)", n, len(payloads), len(actors), len(gens), len(kinds), len(states))
-	}
-	if len(pendSeqs) != len(pendSlots) {
-		return fmt.Errorf("des: pending seq/slot lengths disagree (%d/%d)", len(pendSeqs), len(pendSlots))
-	}
-	for _, sl := range pendSlots {
-		if sl < 1 || int(sl) > n {
-			return fmt.Errorf("des: pending entry references slot %d outside the %d-slot slab", sl, n)
-		}
+	if len(payloads) != n || len(actors) != n || len(gens) != n || len(kinds) != n ||
+		len(states) != n || len(seqs) != n {
+		return fmt.Errorf("des: slab field lengths disagree (%d/%d/%d/%d/%d/%d/%d)",
+			n, len(payloads), len(actors), len(gens), len(kinds), len(states), len(seqs))
 	}
 	for _, sl := range free {
 		if sl < 1 || int(sl) > n {
@@ -157,33 +320,19 @@ func (s *Scheduler) LoadState(r *snapshot.Reader) error {
 			state:   states[i],
 		}
 	}
+	s.seqOf = seqs
 	s.free = free
-
-	if s.cal != nil {
-		q := newCalendarQueue()
-		// Pre-grow the per-slot entry storage: push assumes slots are
-		// handed out in slab order, which does not hold when rebuilding an
-		// arbitrary pending set.
-		q.slots = make([]calSlot, n)
-		s.cal = q
-		for i, sl := range pendSlots {
-			q.push(s.slab[sl-1].time, pendSeqs[i], sl)
-		}
-	} else {
-		s.heap = make([]heapEntry, 0, len(pendSlots))
-		for i, sl := range pendSlots {
-			s.heap = append(s.heap, heapEntry{time: s.slab[sl-1].time, seq: pendSeqs[i], slot: sl})
-			s.up(len(s.heap) - 1)
-		}
-	}
+	s.dirty.Grow((n + slabSegSize - 1) >> slabSegShift)
+	s.dirty.Clear()
+	s.RebuildQueue()
 	return nil
 }
 
 // CheckIntegrity audits the slab bookkeeping: the live counter must match
 // the number of live slots, the free list must hold exactly the free slots
 // with no duplicates, and every queued entry must reference a non-free
-// slot. It is the scheduler's contribution to the kernel's periodic
-// invariant audit.
+// slot whose recorded seq matches the queue's. It is the scheduler's
+// contribution to the kernel's periodic invariant audit.
 func (s *Scheduler) CheckIntegrity() error {
 	var liveCount, freeCount int
 	for i := range s.slab {
@@ -211,6 +360,43 @@ func (s *Scheduler) CheckIntegrity() error {
 		seen[sl] = true
 		if st := s.slab[sl-1].state; st != slotFree {
 			return fmt.Errorf("des: free-listed slot %d has state %d, want free", sl, st)
+		}
+	}
+	return s.checkQueueSeqs()
+}
+
+// checkQueueSeqs verifies every queued entry's seq against the slab's
+// per-slot record — the invariant the derived-pending restore path relies
+// on.
+func (s *Scheduler) checkQueueSeqs() error {
+	check := func(seq uint64, slot int32) error {
+		if slot < 1 || int(slot) > len(s.slab) {
+			return fmt.Errorf("des: queued entry references slot %d outside the %d-slot slab", slot, len(s.slab))
+		}
+		if got := s.seqOf[slot-1]; got != seq {
+			return fmt.Errorf("des: queued entry for slot %d carries seq %d but the slab records %d", slot, seq, got)
+		}
+		return nil
+	}
+	if s.cal != nil {
+		q := s.cal
+		for _, head := range q.heads {
+			for sl := head; sl != 0; sl = q.slots[sl-1].next {
+				if err := check(q.slots[sl-1].seq, sl); err != nil {
+					return err
+				}
+			}
+		}
+		for _, e := range q.drain[q.pos:] {
+			if err := check(e.seq, e.slot); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, e := range s.heap {
+		if err := check(e.seq, e.slot); err != nil {
+			return err
 		}
 	}
 	return nil

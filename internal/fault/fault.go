@@ -208,3 +208,29 @@ func Tear(data []byte, at int) []byte {
 	copy(out, data[:min(at, len(data))])
 	return out
 }
+
+// CorruptChain sweeps every storage-corruption mode over every link of a
+// checkpoint chain: for each link it yields one variant with the link
+// truncated to half, one with a mid-file bit flipped, and one with the
+// tail torn off from the middle. fn receives a description naming the
+// link and mode plus the corrupted chain (other links shared, the victim
+// replaced by a fresh corrupted copy). A restore path is expected to
+// refuse every variant.
+func CorruptChain(chain [][]byte, fn func(desc string, corrupted [][]byte)) {
+	modes := []struct {
+		name    string
+		corrupt func(data []byte) []byte
+	}{
+		{"truncate-half", func(d []byte) []byte { return Truncate(d, len(d)/2) }},
+		{"bitflip-mid", func(d []byte) []byte { return BitFlip(d, len(d)*8/2) }},
+		{"tear-tail", func(d []byte) []byte { return Tear(d, len(d)/2) }},
+	}
+	for k := range chain {
+		for _, m := range modes {
+			corrupted := make([][]byte, len(chain))
+			copy(corrupted, chain)
+			corrupted[k] = m.corrupt(chain[k])
+			fn(fmt.Sprintf("link %d %s", k, m.name), corrupted)
+		}
+	}
+}

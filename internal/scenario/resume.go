@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"creditp2p/internal/market"
+	"creditp2p/internal/shard"
 	"creditp2p/internal/streaming"
 )
 
@@ -14,12 +15,27 @@ type Resume struct {
 	// CheckpointEvery emits a snapshot to Sink every N delivered events;
 	// zero disables periodic checkpointing.
 	CheckpointEvery int
-	// Sink receives each periodic snapshot.
+	// Sink receives each periodic snapshot — the legacy synchronous path:
+	// a full snapshot is encoded and handed over inline at the barrier.
 	Sink func(data []byte) error
+	// ChainSink, when non-nil, replaces Sink with the pipelined
+	// checkpointer (sharded runs only): per-lane parallel encode at the
+	// barrier, seal and write overlapped with the following windows, and —
+	// with Delta — dirty-segment delta links between bases.
+	ChainSink shard.ChainSink
+	// Delta enables dirty-segment delta checkpoints on the ChainSink path.
+	Delta bool
+	// RebaseEvery bounds a delta chain's length; 0 means the
+	// checkpointer's default.
+	RebaseEvery int
 	// Snapshot, when non-nil, is restored instead of starting a fresh run:
 	// the scenario is recompiled to the identical configuration and the
 	// run continues from the checkpointed event.
 	Snapshot []byte
+	// Chain, when non-nil, resumes a sharded run from a base+deltas
+	// checkpoint chain (e.g. snapshot.ChainStore.Load) instead of a single
+	// snapshot. Takes precedence over Snapshot.
+	Chain [][]byte
 }
 
 // stepper is the common surface of the two workloads' Sim handles.

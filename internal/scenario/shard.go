@@ -156,9 +156,12 @@ func RunShardedResumable(sc Scenario, scale Scale, shards int, rs Resume) (*Outc
 		return nil, err
 	}
 	var s *shard.Sim
-	if rs.Snapshot != nil {
+	switch {
+	case rs.Chain != nil:
+		s, err = shard.RestoreChain(cfg, rs.Chain)
+	case rs.Snapshot != nil:
 		s, err = shard.RestoreSim(cfg, rs.Snapshot)
-	} else {
+	default:
 		if s, err = shard.NewSim(cfg); err == nil {
 			err = s.Start()
 		}
@@ -187,9 +190,11 @@ func RunShardedResumable(sc Scenario, scale Scale, shards int, rs Resume) (*Outc
 
 // driveSharded steps a sharded run window-by-window, snapshotting at the
 // first barrier at or after each multiple of rs.CheckpointEvery dispatched
-// events.
+// events. With a ChainSink the pipelined checkpointer takes over:
+// parallel fragment encode at the barrier, seal+write overlapped with the
+// following windows; the plain Sink path stays fully synchronous.
 func driveSharded(s *shard.Sim, rs Resume) error {
-	if rs.CheckpointEvery <= 0 || rs.Sink == nil {
+	if rs.CheckpointEvery <= 0 || (rs.Sink == nil && rs.ChainSink == nil) {
 		for s.StepWindow() {
 		}
 		return nil
@@ -200,6 +205,24 @@ func driveSharded(s *shard.Sim, rs Resume) error {
 	// already dispatched at the checkpoint.
 	if n := s.Engine().EventsFired(); n >= next {
 		next = (n/every + 1) * every
+	}
+	if rs.ChainSink != nil {
+		c := shard.NewCheckpointer(s.Engine(), rs.ChainSink, shard.CheckpointOptions{
+			Delta:       rs.Delta,
+			RebaseEvery: rs.RebaseEvery,
+		})
+		for s.StepWindow() {
+			if n := s.Engine().EventsFired(); n >= next {
+				if err := c.Checkpoint(); err != nil {
+					return fmt.Errorf("scenario: checkpoint after %d events: %w", n, err)
+				}
+				next = (n/every + 1) * every
+			}
+		}
+		if err := c.Close(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+		return nil
 	}
 	for s.StepWindow() {
 		if n := s.Engine().EventsFired(); n >= next {

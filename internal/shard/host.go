@@ -58,6 +58,7 @@ func (h *engineHost) Collect(px int32, amount int64) bool {
 	ln := e.laneOf(px)
 	pre := e.bal[px]
 	e.bal[px] = pre - amount
+	ln.markPeer(px)
 	ln.histMove(pre, pre-amount)
 	ln.supply -= amount
 	e.pot += amount
@@ -75,6 +76,7 @@ func (h *engineHost) Pay(px int32, amount int64) bool {
 	ln := e.laneOf(px)
 	pre := e.bal[px]
 	e.bal[px] = pre + amount
+	ln.markPeer(px)
 	ln.histMove(pre, pre+amount)
 	ln.supply += amount
 	e.pot -= amount
@@ -90,6 +92,7 @@ func (h *engineHost) Mint(px int32, amount int64) bool {
 	ln := e.laneOf(px)
 	pre := e.bal[px]
 	e.bal[px] = pre + amount
+	ln.markPeer(px)
 	ln.histMove(pre, pre+amount)
 	ln.supply += amount
 	ln.minted += amount

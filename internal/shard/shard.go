@@ -176,6 +176,17 @@ type lifeEvent struct {
 	g int32
 }
 
+// Peer dirty-segment granularity: peerSegSize peers per segment. A
+// segment's bal+rng+flags spans total ~8.5 KB. Segments are lane-local
+// (anchored at the lane's lo), so they never straddle a partition
+// boundary and each lane marks its own bitmap race-free during dispatch;
+// coordinator-side mutations (merged deliveries, policy transfers) mark
+// the destination's lane single-threaded at barriers.
+const (
+	peerSegShift = 9
+	peerSegSize  = 1 << peerSegShift
+)
+
 // Lane is one shard's execution context: the scheduler over its peers'
 // events, the per-destination-shard outboxes, the lane-local slices of
 // the metric accumulators, and scratch. Workload hooks receive the lane
@@ -207,7 +218,16 @@ type Lane struct {
 	// warm sinks dispatch's read-ahead loads so the compiler keeps them;
 	// per-lane because dispatch runs concurrently across lanes.
 	warm uint32
+	// dirty tracks which peer segments of this lane's partition were
+	// touched since the last state capture — the delta-checkpoint
+	// bookkeeping. Segment k covers global peers [lo+k*peerSegSize,
+	// lo+(k+1)*peerSegSize) ∩ [lo, hi).
+	dirty snapshot.DirtyBits
 }
+
+// markPeer flags the dirty segment holding global peer g, which must be
+// owned by this lane.
+func (ln *Lane) markPeer(g int32) { ln.dirty.Mark(int(g-ln.lo) >> peerSegShift) }
 
 // Engine coordinates P lanes through lockstep windows.
 type Engine struct {
@@ -280,6 +300,12 @@ type Engine struct {
 	applyFn    func(ln *Lane)
 
 	timings Timings
+
+	// captureGen counts state captures (full or delta). Any capture
+	// clears the dirty maps, so a delta is only valid relative to the
+	// capture it observed; the checkpointer re-bases when the counter
+	// moved underneath it (someone else snapshotted mid-chain).
+	captureGen uint64
 
 	started  bool
 	finished bool
@@ -368,6 +394,9 @@ func New(cfg Config) (*Engine, error) {
 		ln.minted = ln.supply
 		ln.growHist(cfg.InitialWealth)
 		ln.hist[cfg.InitialWealth] = int64(hi - lo)
+		// Pre-size the dirty map so hot-path marks never allocate,
+		// preserving the zero-alloc barrier contract.
+		ln.dirty.Grow((int(hi-lo) + peerSegSize - 1) >> peerSegShift)
 		e.lanes[s] = ln
 	}
 	e.polRNG = xrand.New(cfg.Seed ^ 0x5ca1ab1e)
@@ -573,6 +602,10 @@ func (ln *Lane) dispatch(ev des.Event) {
 		}
 		ln.warm += w
 	}
+	// Any event handler may mutate its actor's state (balance, RNG
+	// stream, flags, workload slot), so the actor's segment is dirty the
+	// moment its event fires.
+	ln.markPeer(ev.Actor)
 	switch ev.Kind {
 	case KindDepart:
 		ln.depart(ev)
@@ -695,6 +728,7 @@ func (ln *Lane) Spend(t float64, src, dst int32, seq uint32, amount int64) bool 
 	}
 	pre := e.bal[src]
 	e.bal[src] = pre - amount
+	ln.markPeer(src)
 	ln.histMove(pre, pre-amount)
 	ln.supply -= amount
 	ln.out[e.part.ShardOf(dst)].Add(des.XEvent{
@@ -737,6 +771,7 @@ func (ln *Lane) deliver(xev des.XEvent) {
 	}
 	pre := e.bal[g]
 	e.bal[g] = pre + xev.Amount
+	ln.markPeer(g)
 	ln.histMove(pre, pre+xev.Amount)
 	ln.supply += xev.Amount
 }
@@ -790,6 +825,7 @@ func (e *Engine) applyMerged() {
 		}
 		pre := e.bal[xev.Dst]
 		e.bal[xev.Dst] = pre + xev.Amount
+		dst.markPeer(xev.Dst)
 		dst.histMove(pre, pre+xev.Amount)
 		dst.supply += xev.Amount
 		e.engine.Income(h, xev.Dst, pre, xev.Amount)

@@ -34,14 +34,34 @@ func rngWords(s []xrand.SplitMix64) []uint64 {
 // Everything else about the configuration folds into one digest, because
 // any drift there invalidates the state wholesale.
 
-// SaveState serializes the engine into w. Callers must be at a window
-// barrier (which is the only place single-threaded callers can observe
-// the engine anyway).
-func (e *Engine) SaveState(w *snapshot.Writer) {
+// snapID is the deterministic capture identity stamped into chain-link
+// headers: a digest of the configuration and the barrier position, so two
+// captures of the same run state carry the same chain id (which is what
+// the delta-vs-full byte-identity tests pin), while captures at different
+// barriers — and hence different chain bases — never collide.
+func (e *Engine) snapID() uint64 {
+	h := e.configDigest()
+	h = fnvU64(h, e.windows)
+	h = fnvU64(h, math.Float64bits(e.now))
+	h = fnvU64(h, e.joins)
+	h = fnvU64(h, e.departures)
+	h = fnvU64(h, e.EventsFired())
+	return h
+}
+
+// saveHeader emits the chain-link header plus the plain-form layout
+// prologue every snapshot (base or delta) starts with.
+func (e *Engine) saveHeader(w *snapshot.Writer, h snapshot.LinkHeader) {
+	w.LinkHeader(h)
 	w.Section("shardhdr")
 	w.U32(uint32(e.p))
 	w.U64(e.configDigest())
+}
 
+// saveShared emits the coordinator-owned singleton state: scalars, the
+// whole-population peer arrays, metric series, the policy RNG and the
+// policy engine.
+func (e *Engine) saveShared(w *snapshot.Writer) {
 	w.Section("shardeng")
 	w.Bool(e.started)
 	w.F64(e.now)
@@ -62,23 +82,54 @@ func (e *Engine) SaveState(w *snapshot.Writer) {
 	if e.engine != nil {
 		e.engine.SaveState(w)
 	}
+}
 
-	for _, ln := range e.lanes {
-		w.Section("lane")
-		ln.sched.SaveState(w)
-		w.I64(ln.supply)
-		w.I64(ln.minted)
-		w.I64(ln.burned)
-		w.I64(ln.lostAmount)
-		w.U64(ln.transfers)
-		w.U64(ln.crossTransfers)
-		w.U64(ln.lostCount)
-		w.Int(ln.liveN)
-		w.I64s(trimHist(ln.hist))
-	}
+// save emits one lane's section: its scheduler, accumulators and balance
+// histogram. Safe to run concurrently across lanes — it touches only
+// lane-owned state.
+func (ln *Lane) save(w *snapshot.Writer) {
+	w.Section("lane")
+	ln.sched.SaveState(w)
+	w.I64(ln.supply)
+	w.I64(ln.minted)
+	w.I64(ln.burned)
+	w.I64(ln.lostAmount)
+	w.U64(ln.transfers)
+	w.U64(ln.crossTransfers)
+	w.U64(ln.lostCount)
+	w.Int(ln.liveN)
+	w.I64s(trimHist(ln.hist))
+}
 
+// saveWorkload emits the workload section.
+func (e *Engine) saveWorkload(w *snapshot.Writer) {
 	w.Section("workload")
 	e.cfg.Workload.SaveState(w)
+}
+
+// captured clears every dirty map and bumps the capture generation — the
+// epilogue of any full capture. (Lane scheduler maps are cleared by
+// sched.SaveState itself; delta captures clear selectively instead.)
+func (e *Engine) captured() {
+	for _, ln := range e.lanes {
+		ln.dirty.Clear()
+	}
+	e.captureGen++
+}
+
+// SaveState serializes the engine into w as a chain base. Callers must be
+// at a window barrier (which is the only place single-threaded callers
+// can observe the engine anyway). The parallel checkpoint path assembles
+// the exact same sections from per-lane fragments; serial and parallel
+// captures are byte-identical.
+func (e *Engine) SaveState(w *snapshot.Writer) {
+	e.saveHeader(w, snapshot.LinkHeader{Kind: snapshot.LinkBase, ID: e.snapID()})
+	e.saveShared(w)
+	for _, ln := range e.lanes {
+		ln.save(w)
+	}
+	e.saveWorkload(w)
+	e.captured()
 }
 
 // LoadState restores a freshly built (unstarted) engine from r. The
@@ -87,6 +138,13 @@ func (e *Engine) SaveState(w *snapshot.Writer) {
 func (e *Engine) LoadState(r *snapshot.Reader) error {
 	if e.started {
 		return fmt.Errorf("shard: restore into an already-started engine")
+	}
+	link := r.LinkHeader()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if link.Kind != snapshot.LinkBase {
+		return fmt.Errorf("shard: snapshot is a delta (chain link %d) — restore the chain with RestoreChain, not a lone delta", link.Index)
 	}
 	r.Section("shardhdr")
 	p := int(r.U32())

@@ -32,7 +32,22 @@ type Timings struct {
 	Merge    time.Duration
 	Apply    time.Duration
 	Churn    time.Duration
+
+	// Checkpoint sub-spans (populated when a Checkpointer is attached).
+	// Wait + Copy is the barrier-visible stall: Wait drains the previous
+	// link's in-flight write (pipeline backpressure), Copy is the parallel
+	// fragment encode at the barrier. Encode (seal + CRC) and Write (sink
+	// I/O) run on the writer goroutine, overlapped with simulation — they
+	// cost wall time only when the pipeline backs up into Wait.
+	Checkpoints uint64
+	CkptWait    time.Duration
+	CkptCopy    time.Duration
+	CkptEncode  time.Duration
+	CkptWrite   time.Duration
 }
+
+// CheckpointStall is the barrier-visible checkpoint cost.
+func (t Timings) CheckpointStall() time.Duration { return t.CkptWait + t.CkptCopy }
 
 // Total sums the phase durations.
 func (t Timings) Total() time.Duration {
@@ -70,7 +85,38 @@ func (t Timings) Write(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "  %-8s %12v\n", "total", total.Round(time.Microsecond))
+	if _, err := fmt.Fprintf(w, "  %-8s %12v\n", "total", total.Round(time.Microsecond)); err != nil {
+		return err
+	}
+	if t.Checkpoints == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "checkpoint pipeline over %d checkpoints (stall = wait+copy)\n",
+		t.Checkpoints); err != nil {
+		return err
+	}
+	spans := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"wait", t.CkptWait},
+		{"copy", t.CkptCopy},
+		{"encode", t.CkptEncode},
+		{"write", t.CkptWrite},
+	}
+	for _, sp := range spans {
+		per := time.Duration(0)
+		if t.Checkpoints > 0 {
+			per = sp.d / time.Duration(t.Checkpoints)
+		}
+		if _, err := fmt.Fprintf(w, "  %-8s %12v  %12v/checkpoint\n",
+			sp.name, sp.d.Round(time.Microsecond), per.Round(time.Nanosecond)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  %-8s %12v  %12v/checkpoint\n", "stall",
+		t.CheckpointStall().Round(time.Microsecond),
+		(t.CheckpointStall() / time.Duration(t.Checkpoints)).Round(time.Nanosecond))
 	return err
 }
 

@@ -35,7 +35,10 @@ import (
 )
 
 // Version is the current snapshot format version. Bump on any layout change.
-const Version uint32 = 1
+// Version 2: scheduler slabs carry per-slot sequence numbers and derive the
+// pending set from slot states (no serialized pending pairs), and snapshots
+// may open with a chain-link header tying delta checkpoints to their base.
+const Version uint32 = 2
 
 // magic identifies a creditp2p snapshot; exactly 8 bytes.
 var magic = [8]byte{'C', 'P', '2', 'P', 'S', 'N', 'A', 'P'}
@@ -61,9 +64,13 @@ var hostLittleEndian = func() bool {
 
 // Writer accumulates a snapshot payload in memory. Create with NewWriter,
 // append values with the typed methods, and call Finish to obtain the final
-// byte slice (header + payload + checksum trailer).
+// byte slice (header + payload + checksum trailer). NewRawWriter creates a
+// header-less fragment writer whose bytes are later concatenated after a
+// header-bearing fragment by Seal — the parallel-encode path, where each
+// shard serializes its sections into its own recycled fragment.
 type Writer struct {
 	buf []byte
+	raw bool
 }
 
 // NewWriter returns a Writer with the magic + version header already
@@ -78,15 +85,69 @@ func NewWriter(sizeHint int) *Writer {
 	return w
 }
 
+// NewRawWriter returns a fragment Writer with no header: its Bytes are a
+// run of tagged sections destined for Seal. sizeHint, when positive,
+// pre-sizes the buffer.
+func NewRawWriter(sizeHint int) *Writer {
+	if sizeHint < 1 {
+		sizeHint = 1 << 10
+	}
+	return &Writer{buf: make([]byte, 0, sizeHint), raw: true}
+}
+
 // Len returns the number of bytes written so far (excluding the trailer).
 func (w *Writer) Len() int { return len(w.buf) }
 
+// Frame returns the accumulated bytes without a trailer — the fragment
+// surface consumed by Seal. The slice aliases the writer's buffer.
+func (w *Writer) Frame() []byte { return w.buf }
+
+// Reset truncates the writer for reuse, keeping the grown buffer — the
+// recycling hook for periodic checkpoint encoding. A header-bearing writer
+// re-emits the magic + version header.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	if !w.raw {
+		w.buf = append(w.buf, magic[:]...)
+		w.U32(Version)
+	}
+}
+
 // Finish appends the checksum trailer and returns the complete snapshot.
-// The Writer must not be used afterwards.
+// The Writer must not be used afterwards (Reset recycles it).
 func (w *Writer) Finish() []byte {
+	if w.raw {
+		panic("snapshot: Finish on a raw fragment writer (Seal assembles fragments)")
+	}
 	sum := checksum(w.buf)
 	w.buf = binary.LittleEndian.AppendUint64(w.buf, sum)
 	return w.buf
+}
+
+// Seal concatenates fragments into dst (recycled when its capacity
+// suffices), appends the checksum trailer, and returns the sealed snapshot
+// along with its trailer value. The first fragment must begin with the
+// magic + version header (a NewWriter fragment); the rest are raw. The
+// sealed bytes are identical to a single Writer emitting the same sections
+// in order, so serial and parallel encodes are byte-interchangeable.
+func Seal(dst []byte, parts [][]byte) ([]byte, uint64) {
+	total := trailerLen
+	for _, p := range parts {
+		total += len(p)
+	}
+	if cap(dst) < total {
+		dst = make([]byte, 0, total)
+	} else {
+		dst = dst[:0]
+	}
+	var crc uint32
+	for _, p := range parts {
+		crc = crc32.Update(crc, crcTable, p)
+		dst = append(dst, p...)
+	}
+	sum := uint64(crc)
+	dst = binary.LittleEndian.AppendUint64(dst, sum)
+	return dst, sum
 }
 
 // Section emits a short tag delimiting a logical group of fields. Readers
@@ -250,6 +311,7 @@ type Reader struct {
 	buf []byte
 	off int
 	err error
+	sum uint64
 }
 
 // Open validates magic, version, and the whole-payload checksum trailer, and
@@ -271,8 +333,12 @@ func Open(data []byte) (*Reader, error) {
 	if got := checksum(body); got != want {
 		return nil, fmt.Errorf("snapshot: checksum mismatch: computed %016x, trailer says %016x (corrupted or torn write)", got, want)
 	}
-	return &Reader{buf: body, off: headerLen}, nil
+	return &Reader{buf: body, off: headerLen, sum: want}, nil
 }
+
+// Checksum returns the snapshot's verified trailer value — the identity a
+// delta chain link uses to pin its predecessor.
+func (r *Reader) Checksum() uint64 { return r.sum }
 
 // Err returns the first error encountered, if any.
 func (r *Reader) Err() error { return r.err }

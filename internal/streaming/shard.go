@@ -39,6 +39,8 @@ type ShardStreaming struct {
 	seeds []uint64
 	pend  []des.Handle
 	lanes []shardStreamCounters
+	// hscratch is the recycled handle-packing buffer for delta captures.
+	hscratch []uint64
 }
 
 type shardStreamCounters struct {
@@ -183,6 +185,66 @@ func (s *ShardStreaming) SaveState(w *snapshot.Writer) {
 		w.U64(c.chunksStalled)
 		w.U64(c.failIsolated)
 	}
+}
+
+// SaveDelta implements shard.DeltaWorkload: only the pending handles of
+// the peers in the dirty spans are serialized, plus the per-lane
+// counters.
+func (s *ShardStreaming) SaveDelta(w *snapshot.Writer, spans []shard.PeerSpan) {
+	w.Section("dstshard")
+	for _, sp := range spans {
+		n := int(sp.Hi - sp.Lo)
+		if cap(s.hscratch) < n {
+			s.hscratch = make([]uint64, n)
+		}
+		hs := s.hscratch[:n]
+		for i := range hs {
+			hs[i] = s.pend[sp.Lo+int32(i)].Pack()
+		}
+		w.U64s(hs)
+	}
+	w.Int(len(s.lanes))
+	for _, c := range s.lanes {
+		w.U64(c.rounds)
+		w.U64(c.chunkRequests)
+		w.U64(c.chunksSeeded)
+		w.U64(c.chunksTraded)
+		w.U64(c.chunksOffline)
+		w.U64(c.chunksStalled)
+		w.U64(c.failIsolated)
+	}
+}
+
+// LoadDelta applies a delta written by SaveDelta with the same spans.
+func (s *ShardStreaming) LoadDelta(r *snapshot.Reader, spans []shard.PeerSpan) error {
+	r.Section("dstshard")
+	for _, sp := range spans {
+		n := int(sp.Hi - sp.Lo)
+		hs := r.U64s(n)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if len(hs) != n {
+			return fmt.Errorf("streaming: shard delta span [%d,%d) carries %d handles, want %d", sp.Lo, sp.Hi, len(hs), n)
+		}
+		for i, v := range hs {
+			s.pend[sp.Lo+int32(i)] = des.UnpackHandle(v)
+		}
+	}
+	if got := r.Int(); got != len(s.lanes) {
+		return fmt.Errorf("streaming: shard delta has %d lane counter sets, want %d", got, len(s.lanes))
+	}
+	for i := range s.lanes {
+		c := &s.lanes[i]
+		c.rounds = r.U64()
+		c.chunkRequests = r.U64()
+		c.chunksSeeded = r.U64()
+		c.chunksTraded = r.U64()
+		c.chunksOffline = r.U64()
+		c.chunksStalled = r.U64()
+		c.failIsolated = r.U64()
+	}
+	return r.Err()
 }
 
 // LoadState restores the workload at the same shard count.
