@@ -692,6 +692,131 @@ func benchShardMarketXLarge(b *testing.B, shards int) {
 func BenchmarkShardMarketXLarge(b *testing.B)  { benchShardMarketXLarge(b, 1) }
 func BenchmarkShardMarketXLarge8(b *testing.B) { benchShardMarketXLarge(b, 8) }
 
+// The routed XLarge trio is the BENCH_10 acceptance A/B/C: the same 1M-peer
+// eight-lane churned market under uniform routing (the cost baseline),
+// availability-weighted Fenwick routing (the feature; must stay within
+// 1.6x of uniform per-event), and the naive per-spend O(degree) rescan
+// (the reference the Fenwick sampler must beat). Churn is on in all three
+// — availability weighting is inert without lifecycle transitions — so
+// uniform here is a separate baseline from BenchmarkShardMarketXLarge8.
+
+func benchShardMarketRouted(b *testing.B, rc shard.RoutingConfig) {
+	b.Helper()
+	r := xrand.New(7)
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 1_000_000, Alpha: 2.5, MeanDegree: 20}, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	heapBase := heapBytesNow()
+	var heapAfter uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		w, err := market.NewShard(market.ShardConfig{Mu: 1, Amount: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := shard.Run(shard.Config{
+			Graph:         g,
+			Shards:        8,
+			Horizon:       5,
+			Seed:          8,
+			InitialWealth: 20,
+			Queue:         des.Calendar,
+			Churn:         shard.ChurnConfig{MeanLifespan: 15, MeanDowntime: 5},
+			Routing:       rc,
+			Workload:      w,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+		heapAfter = heapBytesNow()
+		b.ReportMetric(float64(res.Events), "events/run")
+	}
+	if events > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(uint64(b.N)*events), "ns/event")
+	}
+	reportBytesPerPeer(b, heapBase, heapAfter, 1_000_000)
+	if rss := peakRSSBytes(); rss > 0 {
+		b.ReportMetric(float64(rss)/(1<<30), "peakRSS-GB")
+	}
+}
+
+func BenchmarkShardMarketXLargeUniformChurn(b *testing.B) {
+	benchShardMarketRouted(b, shard.RoutingConfig{})
+}
+
+func BenchmarkShardMarketXLargeWeighted(b *testing.B) {
+	benchShardMarketRouted(b, shard.RoutingConfig{Mode: shard.RouteAvailability})
+}
+
+func BenchmarkShardMarketXLargeNaive(b *testing.B) {
+	benchShardMarketRouted(b, shard.RoutingConfig{Mode: shard.RouteAvailability, NaiveRescan: true})
+}
+
+// The pick micro-pair isolates the sampler itself — Fenwick descent vs the
+// per-spend O(degree) rescan — over one warm availability-routed engine, so
+// the ≥5x sampler gate is measured without the kernel's fixed per-event
+// overhead diluting the ratio. Picks cycle through every peer, weighting
+// hubs exactly as often as leaves.
+
+func benchRoutingPick(b *testing.B, naive bool) {
+	b.Helper()
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: 20_000, Alpha: 2.5, MeanDegree: 20}, xrand.New(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := market.NewShard(market.ShardConfig{Mu: 1, Amount: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := shard.New(shard.Config{
+		Graph:         g,
+		Shards:        1,
+		Horizon:       20,
+		Seed:          8,
+		InitialWealth: 20,
+		Queue:         des.Calendar,
+		Churn:         shard.ChurnConfig{MeanLifespan: 15, MeanDowntime: 5},
+		Routing:       shard.RoutingConfig{Mode: shard.RouteAvailability, NaiveRescan: naive},
+		Workload:      w,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 30; i++ { // let churn spread the EWMA weights
+		if !e.StepWindow() {
+			b.Fatal("horizon exhausted during warmup")
+		}
+	}
+	ln := e.Lanes()[0]
+	r := xrand.NewSplitMix64(11, 3)
+	t := e.Horizon()
+	var sink int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := int32(i % e.N())
+		nbrs := e.Neighbors(g)
+		if len(nbrs) == 0 {
+			continue
+		}
+		sink += ln.PickNeighbor(t, g, nbrs, &r)
+	}
+	if sink == 0 && b.N > 100 {
+		b.Fatal("sampler returned only peer 0; measurement is broken")
+	}
+}
+
+func BenchmarkRoutingPickFenwick(b *testing.B) { benchRoutingPick(b, false) }
+func BenchmarkRoutingPickNaive(b *testing.B)   { benchRoutingPick(b, true) }
+
 // The Checkpoint trio measures the barrier-visible checkpoint stall on
 // the 1M-peer sharded market at eight lanes — the BENCH_9 acceptance
 // A/B. All three run the identical simulation at the identical cadence

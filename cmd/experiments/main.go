@@ -17,6 +17,8 @@
 //	experiments -scenario flash-crowd -shards 4 -restore run.snap
 //	experiments -scenario flash-crowd -shards 4 -checkpoint-every 50000 -checkpoint run.snap -checkpoint-delta
 //	experiments -scenario flash-crowd -shards 4 -restore run.snap -checkpoint-delta
+//	experiments -scenario free-rider-mix -shards 8 -routing availability
+//	experiments -scenario free-rider-mix -shards 8 -routing degree -checkpoint-every 50000 -checkpoint run.snap -checkpoint-delta
 //	experiments -id policy-sweep
 //	experiments -taxrates 0.05,0.1,0.2 [-preset full]
 //
@@ -49,7 +51,13 @@
 // the resumed run is byte-identical either way.
 //
 // -timing prints the sharded kernel's phase-level barrier-pipeline
-// breakdown (dispatch / merge / apply / churn) after the report.
+// breakdown (dispatch / merge / apply / churn / publish) after the report.
+//
+// -routing (sharded runs only) overrides the preset's destination-sampling
+// mode: uniform picks neighbors uniformly, degree weights by static
+// degree, availability weights by a churn-tracking EWMA of uptime. All
+// three compose with -shards, -checkpoint-delta and -restore, and each
+// mode's output is byte-identical for every shard count.
 package main
 
 import (
@@ -62,6 +70,7 @@ import (
 	"strings"
 
 	"creditp2p"
+	"creditp2p/internal/market"
 	"creditp2p/internal/scenario"
 	"creditp2p/internal/snapshot"
 )
@@ -91,6 +100,7 @@ func run(args []string) error {
 	timing := fs.Bool("timing", false, "with -scenario -shards > 1: print the phase-level barrier-pipeline timing breakdown after the report")
 	checkpointDelta := fs.Bool("checkpoint-delta", false, "with -scenario -shards > 1: write base+delta checkpoint chains with overlapped I/O instead of synchronous full snapshots")
 	rebaseEvery := fs.Int("rebase-every", 0, "with -checkpoint-delta: deltas per base before the chain re-anchors (0 = default)")
+	routing := fs.String("routing", "", "with -scenario -shards > 1: override the preset's destination-sampling mode (uniform, degree or availability)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -159,10 +169,13 @@ func run(args []string) error {
 		if *checkpointDelta && *shards <= 1 {
 			return fmt.Errorf("-checkpoint-delta needs -shards > 1 (delta chains are a sharded-kernel feature)")
 		}
+		if *routing != "" && *shards <= 1 {
+			return fmt.Errorf("-routing needs -shards > 1 (the single-threaded engines take routing from the preset)")
+		}
 		if *shards > 1 {
 			return runScenarioSharded(*scenarioName, *presetName, *shards,
 				*checkpointEvery, *checkpointPath, *restorePath, *timing,
-				*checkpointDelta, *rebaseEvery)
+				*checkpointDelta, *rebaseEvery, *routing)
 		}
 		if *checkpointEvery > 0 || *restorePath != "" {
 			return runScenarioResumable(*scenarioName, *presetName, *checkpointEvery, *checkpointPath, *restorePath)
@@ -181,9 +194,9 @@ func run(args []string) error {
 
 // runScenarioSharded runs a scenario on the sharded multi-core kernel,
 // optionally with checkpoint/restore and the phase-timing breakdown. The
-// report gains a "shards" row; results are byte-identical across shard
-// counts by the sharded kernel's invariance contract.
-func runScenarioSharded(name, presetName string, shards, every int, ckPath, restorePath string, timing, delta bool, rebaseEvery int) error {
+// report gains "shards" and "routing" rows; results are byte-identical
+// across shard counts by the sharded kernel's invariance contract.
+func runScenarioSharded(name, presetName string, shards, every int, ckPath, restorePath string, timing, delta bool, rebaseEvery int, routing string) error {
 	scale, err := parseScale(presetName)
 	if err != nil {
 		return err
@@ -191,6 +204,17 @@ func runScenarioSharded(name, presetName string, shards, every int, ckPath, rest
 	sc, err := scenario.Get(name)
 	if err != nil {
 		return err
+	}
+	switch routing {
+	case "":
+	case "uniform":
+		sc.Market.Routing = market.RouteUniform
+	case "degree":
+		sc.Market.Routing = market.RouteDegreeWeighted
+	case "availability":
+		sc.Market.Routing = market.RouteAvailability
+	default:
+		return fmt.Errorf("unknown -routing %q (want uniform, degree or availability)", routing)
 	}
 	var rs scenario.Resume
 	if delta {

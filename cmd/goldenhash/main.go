@@ -367,22 +367,38 @@ func runStreaming(mk func() streaming.Config, resume bool) (*streaming.Result, e
 // byte-identical recovery for the sharded engine.
 func shardLines(shards int, resume, deltaResume bool) {
 	cases := []struct {
-		name   string
-		preset string
+		name    string
+		preset  string
+		routing shard.Routing // non-uniform: override the preset's mode
 	}{
-		{"market-churn", "flash-crowd"},
-		{"market-policy", "demurrage"},
-		{"streaming-tax", "taxed-streaming"},
+		{"market-churn", "flash-crowd", shard.RouteUniform},
+		{"market-policy", "demurrage", shard.RouteUniform},
+		{"streaming-tax", "taxed-streaming", shard.RouteUniform},
+		// Routing-mode coverage: demurrage above routes degree-weighted and
+		// adaptive-tax routes availability-weighted per its preset (static
+		// mirrors — both presets are churn-free); diurnal-churn exercises
+		// the thinned rejoin shaping; the flash-crowd override composes
+		// availability routing WITH churn, so the barrier's EWMA mirror
+		// publish and heavy-tree patching are on the hashed path. Each line
+		// must hash identically for every -shards value and survive both
+		// resume drills.
+		{"market-avail", "adaptive-tax", shard.RouteUniform},
+		{"market-diurnal", "diurnal-churn", shard.RouteUniform},
+		{"market-avail-churn", "flash-crowd", shard.RouteAvailability},
 	}
 	for _, c := range cases {
 		sc, err := scenario.Get(c.preset)
 		if err != nil {
 			panic(c.name + ": " + err.Error())
 		}
+		routing := c.routing
 		mk := func() shard.Config {
 			cfg, err := sc.ShardConfig(scenario.ScaleQuick, shards)
 			if err != nil {
 				panic(c.name + ": " + err.Error())
+			}
+			if routing != shard.RouteUniform {
+				cfg.Routing.Mode = routing
 			}
 			return cfg
 		}

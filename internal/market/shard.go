@@ -115,7 +115,7 @@ func (m *ShardMarket) OnEvent(ln *shard.Lane, ev des.Event) {
 	if len(nbrs) == 0 {
 		c.failIsolated++
 	} else {
-		dst := nbrs[r.Intn(len(nbrs))]
+		dst := ln.PickNeighbor(ev.Time, g, nbrs, r)
 		switch {
 		case !m.e.AliveEpoch(dst):
 			c.failOffline++
@@ -133,9 +133,11 @@ func (m *ShardMarket) OnEvent(ln *shard.Lane, ev des.Event) {
 
 // WarmActor implements shard.ActorWarmer: it touches the peer's pending
 // handle (the one workload array OnEvent hits that the kernel cannot see)
-// so the kernel's dispatch read-ahead covers it too. Pure read.
+// and warms the routing sampler — rebuilding the peer's Fenwick tree if a
+// barrier left it stale, so the rebuild cost overlaps with earlier events
+// instead of landing on the pick itself.
 func (m *ShardMarket) WarmActor(g int32) uint32 {
-	return uint32(m.pend[g].Pack())
+	return uint32(m.pend[g].Pack()) + m.e.WarmSampler(g)
 }
 
 // Retire cancels the departing peer's pending attempt.

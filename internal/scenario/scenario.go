@@ -663,9 +663,11 @@ type Outcome struct {
 	Market    *market.Result
 	Streaming *streaming.Result
 	// Shards and Shard are set when the run used the sharded kernel
-	// (RunSharded with shards > 1).
-	Shards int
-	Shard  *shard.Result
+	// (RunSharded with shards > 1); Routing names its destination-sampling
+	// mode.
+	Shards  int
+	Routing string
+	Shard   *shard.Result
 	// Timings is the sharded run's phase-level barrier-pipeline breakdown
 	// (dispatch / merge / apply / churn). Diagnostic only: it is not part
 	// of Report's output, so report bytes stay invariant run-to-run.

@@ -28,10 +28,17 @@ import (
 //     of Sec. VI-E over a fixed peer-slot table.
 //   - Streaming seeds: the declared seeder fraction, or the SourceSeeds
 //     count converted to a fraction of the declared population.
-//
-// Arrival-pattern shaping (flash crowds, diurnal cycles) has no sharded
-// counterpart yet: those scenarios still compile, but the patterns
-// reduce to the constant-rate lifecycle process.
+//   - Arrival-pattern shaping (flash crowds, diurnal cycles): the
+//     declared pattern modulates the rejoin rate of the fixed-slot
+//     lifecycle process — rateFn's shape (evaluated at base rate 1)
+//     multiplies the constant 1/MeanDowntime, and the same
+//     piecewise-constant envelope drives Lewis–Shedler thinning inside
+//     the kernel. A flash crowd pulls departed peers back online during
+//     the spike; a diurnal cycle swings the online population with the
+//     declared period.
+//   - Routing: the declared market routing mode (uniform, degree,
+//     availability) compiles onto the kernel's barrier-frozen weighted
+//     samplers for market and streaming workloads alike.
 
 // ShardConfig compiles the scenario into a sharded-kernel configuration
 // at the given scale and shard count. Shards=1 is the reference lane
@@ -57,6 +64,30 @@ func (sc Scenario) ShardConfig(scale Scale, shards int) (shard.Config, error) {
 	if sc.Churn.Pattern != ChurnNone && sc.Churn.MeanLifespan > 0 {
 		life := sc.Churn.MeanLifespan * d.ratio
 		cfg.Churn = shard.ChurnConfig{MeanLifespan: life, MeanDowntime: life / 4}
+		// Time-varying arrival patterns modulate the rejoin rate: rateFn
+		// at base rate 1 yields the pure shape (1 outside a flash-crowd
+		// spike, 1+amp*sin for diurnal), scaled by the constant rejoin
+		// rate. Constant churn returns nil shapes — the exact one-draw
+		// path, byte-identical to the pre-shaping kernel.
+		shape, env, err := sc.Churn.rateFn(1, d.horizon)
+		if err != nil {
+			return shard.Config{}, err
+		}
+		if shape != nil {
+			base := 1 / cfg.Churn.MeanDowntime
+			cfg.Churn.RejoinRate = func(t float64) float64 { return base * shape(t) }
+			cfg.Churn.RejoinEnvelope = func(t float64) (float64, float64) {
+				r, until := env(t)
+				return base * r, until
+			}
+			cfg.Churn.RateDigest = sc.Churn.shapeDigest(d.horizon)
+		}
+	}
+	switch sc.Market.Routing {
+	case market.RouteDegreeWeighted:
+		cfg.Routing.Mode = shard.RouteDegree
+	case market.RouteAvailability:
+		cfg.Routing.Mode = shard.RouteAvailability
 	}
 
 	// The policy pipeline compiles exactly like the streaming path: the
@@ -128,6 +159,22 @@ func (sc Scenario) ShardConfig(scale Scale, shards int) (shard.Config, error) {
 	return cfg, nil
 }
 
+// shapeDigest identifies the compiled rejoin-shape functions for the
+// snapshot config digest (closures cannot be hashed): the pattern, the
+// horizon it was compiled against, and every shape parameter.
+func (c Churn) shapeDigest(horizon float64) uint64 {
+	h := uint64(14695981039346656037)
+	fold := func(v uint64) { h = (h ^ v) * 1099511628211 }
+	fold(uint64(c.Pattern))
+	fold(math.Float64bits(horizon))
+	fold(math.Float64bits(c.SpikeStart))
+	fold(math.Float64bits(c.SpikeLen))
+	fold(math.Float64bits(c.SpikeFactor))
+	fold(math.Float64bits(c.Period))
+	fold(math.Float64bits(c.Amplitude))
+	return h
+}
+
 // RunSharded executes the scenario on the sharded kernel with the given
 // lane count. shards <= 1 falls back to the legacy single-threaded
 // engines via Run — existing invocations and their byte-identical
@@ -183,6 +230,7 @@ func RunShardedResumable(sc Scenario, scale Scale, shards int, rs Resume) (*Outc
 		N:       d.n,
 		Horizon: d.horizon,
 		Shards:  shards,
+		Routing: s.Engine().RoutingMode().String(),
 		Shard:   res,
 		Timings: &t,
 	}, nil
@@ -248,6 +296,9 @@ func RunShardedNamed(name string, scale Scale, shards int) (*Outcome, error) {
 func (o *Outcome) reportShard(tab *trace.Table) {
 	r := o.Shard
 	tab.AddRow("shards", fmt.Sprint(o.Shards))
+	if o.Routing != "" {
+		tab.AddRow("routing", o.Routing)
+	}
 	tab.AddRow("events", fmt.Sprint(r.Events))
 	tab.AddRow("transfers", fmt.Sprint(r.Transfers))
 	tab.AddRow("joins / departures", fmt.Sprintf("%d / %d", r.Joins, r.Departures))

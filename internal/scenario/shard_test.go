@@ -7,15 +7,20 @@ import (
 	"creditp2p/internal/shard"
 )
 
-// TestShardScenarioCountInvariance compiles real presets — one market,
-// one streaming — onto the sharded kernel at quick scale and requires
-// byte-identical results for every shard count. This is the
-// scenario-layer end of the contract the shard package's own matrix
-// tests pin on hand-built configs: the preset → ShardConfig compilation
-// (topology build, churn derivation, policy pipeline, workload mapping)
-// must not smuggle any lane-layout dependence into the run.
+// TestShardScenarioCountInvariance compiles real presets onto the
+// sharded kernel at quick scale and requires byte-identical results for
+// every shard count. This is the scenario-layer end of the contract the
+// shard package's own matrix tests pin on hand-built configs: the
+// preset → ShardConfig compilation (topology build, churn derivation,
+// arrival-pattern shaping, routing mapping, policy pipeline, workload
+// mapping) must not smuggle any lane-layout dependence into the run.
+// flash-crowd and diurnal-churn cover the thinned rejoin shaping;
+// demurrage covers degree routing; adaptive-tax covers availability
+// routing under a policy pipeline.
 func TestShardScenarioCountInvariance(t *testing.T) {
-	for _, name := range []string{"flash-crowd", "taxed-streaming"} {
+	for _, name := range []string{
+		"flash-crowd", "taxed-streaming", "diurnal-churn", "demurrage", "adaptive-tax",
+	} {
 		sc, err := Get(name)
 		if err != nil {
 			t.Fatal(err)
@@ -41,6 +46,43 @@ func TestShardScenarioCountInvariance(t *testing.T) {
 				t.Errorf("%s: P=%d fingerprint %016x != P=1 %016x\nbase: %+v\n got: %+v",
 					name, p, got.Fingerprint(), base.Fingerprint(), base, got)
 			}
+		}
+	}
+}
+
+// TestShardScenarioRoutingCompiles pins the preset → kernel routing
+// mapping: presets declaring weighted market routing must compile to the
+// matching shard mode (and shaped-churn presets must carry a rate
+// digest), so the sharded runs actually exercise what the preset names.
+func TestShardScenarioRoutingCompiles(t *testing.T) {
+	cases := []struct {
+		preset string
+		mode   shard.Routing
+		shaped bool
+	}{
+		{"flash-crowd", shard.RouteUniform, true},
+		{"diurnal-churn", shard.RouteUniform, true},
+		{"demurrage", shard.RouteDegree, false},
+		{"adaptive-tax", shard.RouteAvailability, false},
+		{"free-rider-mix", shard.RouteUniform, false},
+	}
+	for _, c := range cases {
+		sc, err := Get(c.preset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := sc.ShardConfig(ScaleQuick, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.preset, err)
+		}
+		if cfg.Routing.Mode != c.mode {
+			t.Errorf("%s compiles to routing %v, want %v", c.preset, cfg.Routing.Mode, c.mode)
+		}
+		if shaped := cfg.Churn.RejoinRate != nil; shaped != c.shaped {
+			t.Errorf("%s: shaped rejoins = %v, want %v", c.preset, shaped, c.shaped)
+		}
+		if c.shaped && (cfg.Churn.RejoinEnvelope == nil || cfg.Churn.RateDigest == 0) {
+			t.Errorf("%s: shaped churn missing envelope or rate digest", c.preset)
 		}
 	}
 }

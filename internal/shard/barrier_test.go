@@ -76,7 +76,7 @@ func TestTimingsBreakdown(t *testing.T) {
 	if withPol.MergedEvents == 0 {
 		t.Fatalf("policy run merged no events: %+v", withPol)
 	}
-	if got := withPol.Dispatch + withPol.Merge + withPol.Apply + withPol.Churn; got != withPol.Total() {
+	if got := withPol.Dispatch + withPol.Merge + withPol.Apply + withPol.Churn + withPol.Publish; got != withPol.Total() {
 		t.Fatalf("Total() = %v, phase sum = %v", withPol.Total(), got)
 	}
 

@@ -1,0 +1,487 @@
+package shard
+
+// Weighted routing on the sharded kernel: per-peer Fenwick samplers over
+// neighbor weights, fed by barrier-frozen weight mirrors.
+//
+// The single-threaded market engine routes spends by degree or
+// availability with an O(log degree) Fenwick sampler per spender. The
+// sharded kernel cannot share that structure — availability is mutable
+// cross-shard state — so it splits the problem along the same line as the
+// alive bitmap:
+//
+//   - weight[] is a dense per-peer weight mirror, written ONLY at window
+//     barriers by the coordinator (publishWeights folds the window's
+//     lifecycle deltas through the availability EWMA in canonical order)
+//     and read freely by every lane during the window. In-window sampling
+//     therefore touches zero shared mutable state and takes zero locks,
+//     and the frozen-weight staleness (routing sees availability as of
+//     the window start) is the exact analog of the liveness staleness the
+//     engine already defines.
+//
+//   - Each peer owns a Fenwick tree over its neighbors' mirror weights,
+//     packed back to back in one slab ([RowStart(g)+g : ... degree+1]
+//     floats per peer) so a million trees carry no per-tree headers. The
+//     tree is a pure function of the mirror, which makes rebuild timing
+//     unobservable: lanes rebuild their own peers' stale trees lazily at
+//     first use (pick or warm prefetch) and results cannot depend on
+//     when — or whether — a rebuild happened early.
+//
+//   - Heavy hitters (degree > HeavyDegree) skip the lazy-stale discipline:
+//     an O(degree) rebuild per barrier touch would make hub peers
+//     quadratic under churn waves, so their trees are patched incrementally
+//     at the barrier (one O(log degree) FenAdd per changed neighbor,
+//     applied in the same canonical delta order on the coordinator).
+//     Incremental float accumulation is order-sensitive, so the canonical
+//     order is what keeps heavy trees — and with them every sampled
+//     destination — bit-identical across shard counts.
+//
+// All trees are built eagerly during New in ascending peer order; after
+// that, heavy trees are only ever patched and light trees only ever
+// rebuilt from the mirror, so both populations have shard-count-invariant
+// float state. The slab, mirror, and EWMA state serialize with the lane
+// partitions (full and delta checkpoints alike), so restores resume the
+// exact byte stream without a rebuild train.
+
+import (
+	"fmt"
+	"math"
+
+	"creditp2p/internal/xrand"
+)
+
+// Routing selects how workloads pick spend destinations among neighbors.
+type Routing uint8
+
+const (
+	// RouteUniform picks uniformly at random — the pre-routing behavior,
+	// byte-identical to it.
+	RouteUniform Routing = iota
+	// RouteDegree weights neighbors by their overlay degree (static).
+	RouteDegree
+	// RouteAvailability weights neighbors by Floor plus an exponential
+	// moving average of their online time (dynamic, refreshed at
+	// barriers from lifecycle deltas).
+	RouteAvailability
+)
+
+// String names the mode for reports and goldenhash lines.
+func (m Routing) String() string {
+	switch m {
+	case RouteUniform:
+		return "uniform"
+	case RouteDegree:
+		return "degree"
+	case RouteAvailability:
+		return "availability"
+	}
+	return "unknown"
+}
+
+// RoutingConfig parameterizes weighted destination sampling.
+type RoutingConfig struct {
+	// Mode selects the weighting; RouteUniform (the zero value) keeps the
+	// historical uniform sampler and allocates nothing.
+	Mode Routing
+	// Tau is the availability EWMA time constant; 0 selects 100.
+	Tau float64
+	// Floor is the availability weight floor, keeping every neighbor
+	// reachable (and every tree total positive); 0 selects 0.05.
+	Floor float64
+	// HeavyDegree is the heavy-hitter threshold: peers with more
+	// neighbors than this get barrier-patched trees instead of
+	// lazy-stale rebuilds; 0 selects 64.
+	HeavyDegree int
+	// NaiveRescan replaces the Fenwick samplers with a per-spend
+	// O(degree) weight rescan — the reference baseline the perf gates
+	// measure against. Same frozen-EWMA state, continuous decay at pick
+	// time; a distinct mode with its own (still shard-count-invariant)
+	// byte stream.
+	NaiveRescan bool
+}
+
+const (
+	defaultRoutingTau   = 100.0
+	defaultRoutingFloor = 0.05
+	// defaultHeavyDegree trades barrier patch bandwidth against the
+	// worst-case lazy rebuild: every directed edge into a hub above the
+	// threshold costs one O(log degree) patch per neighbor lifecycle
+	// transition, while every peer below it pays at most an O(threshold)
+	// rebuild at its first pick after a neighborhood change. Scale-free
+	// overlays put a large fraction of edges on hubs, so a low threshold
+	// drowns the barrier in patch traffic for trees that are rarely
+	// sampled before they are patched again; 1024 keeps hub picks
+	// O(log degree) while cutting patch bandwidth to the few true hubs.
+	defaultHeavyDegree = 1024
+)
+
+// routingState is the engine's resident routing data. For RouteUniform
+// every slice is nil; for NaiveRescan the slab and totals are nil (the
+// rescan reads the EWMA state directly).
+type routingState struct {
+	mode     Routing
+	naive    bool
+	tau      float64
+	floor    float64
+	heavyDeg int
+
+	// weight is the barrier-frozen per-peer routing weight mirror, in
+	// the slab's float32 domain: the mirror is what trees rebuild from,
+	// so keeping both in one precision makes a rebuilt tree and a
+	// patched tree agree to the last bit of the stored weights.
+	weight []float32
+	// score/scoreT carry the availability EWMA: score is the EWMA of the
+	// online indicator as of the peer's last lifecycle transition at
+	// scoreT. Both change only in publishWeights (canonical order).
+	score  []float64
+	scoreT []float64
+	// fenSlab packs every peer's Fenwick tree over its neighbor weights:
+	// peer g's tree is fenSlab[RowStart(g)+g : +Degree(g)+1], leaves at
+	// 1..degree. Slot 0 — unused by the Fenwick layout — caches the
+	// tree's weight total, so a pick reads the total and the descent
+	// nodes from the same cache lines instead of missing on a separate
+	// totals array.
+	fenSlab []float32
+	// heavyRow/heavyNb/heavyLeaf form the heavy-edge CSR for availability
+	// runs: for each peer g, heavyNb[heavyRow[g]:heavyRow[g+1]] lists g's
+	// heavy-hitter neighbors and heavyLeaf the matching Fenwick leaf (g's
+	// position in that hub's row, precomputed so a barrier patch lands on
+	// the right leaf without binary-searching the hub's neighbor row).
+	// Scale-free graphs keep this sparse — only a minority of directed
+	// edges point at hubs — so the patch pass walks a few entries per
+	// lifecycle delta instead of rescanning whole adjacency rows.
+	heavyRow  []int64
+	heavyNb   []int32
+	heavyLeaf []int32
+	// wdelta is publishWeights' grow-once scratch: the mirror-weight
+	// change of each lifecycle delta, aligned with lifeScratch, computed
+	// by the fold and consumed by the tree-patch pass.
+	wdelta []float32
+}
+
+// validateRouting normalizes defaults and rejects contradictions.
+func validateRouting(cfg *Config) error {
+	r := &cfg.Routing
+	if r.Mode > RouteAvailability {
+		return fmt.Errorf("%w: Routing.Mode=%d", ErrBadConfig, r.Mode)
+	}
+	if r.Tau < 0 || r.Floor < 0 || r.HeavyDegree < 0 {
+		return fmt.Errorf("%w: Routing={Tau:%v Floor:%v HeavyDegree:%d}: negative parameter",
+			ErrBadConfig, r.Tau, r.Floor, r.HeavyDegree)
+	}
+	if r.NaiveRescan && r.Mode == RouteUniform {
+		return fmt.Errorf("%w: Routing.NaiveRescan needs a weighted Mode", ErrBadConfig)
+	}
+	if r.Tau == 0 {
+		r.Tau = defaultRoutingTau
+	}
+	if r.Floor == 0 {
+		r.Floor = defaultRoutingFloor
+	}
+	if r.HeavyDegree == 0 {
+		r.HeavyDegree = defaultHeavyDegree
+	}
+	return nil
+}
+
+// initRouting allocates and builds the routing state. Runs during New,
+// after the lanes exist: the weight mirror fills sequentially, then each
+// lane builds its own peers' trees in parallel (disjoint slab regions,
+// each tree a pure function of the mirror, so the build is deterministic).
+func (e *Engine) initRouting() {
+	rt := &e.rt
+	rt.mode = e.cfg.Routing.Mode
+	if rt.mode == RouteUniform {
+		return
+	}
+	rt.naive = e.cfg.Routing.NaiveRescan
+	rt.tau = e.cfg.Routing.Tau
+	rt.floor = e.cfg.Routing.Floor
+	rt.heavyDeg = e.cfg.Routing.HeavyDegree
+	rt.weight = make([]float32, e.n)
+	if rt.mode == RouteAvailability {
+		rt.score = make([]float64, e.n)
+		rt.scoreT = make([]float64, e.n)
+		for g := 0; g < e.n; g++ {
+			// Every peer starts online with a saturated EWMA.
+			rt.score[g] = 1
+			rt.weight[g] = float32(rt.floor + 1)
+		}
+	} else {
+		for g := int32(0); g < int32(e.n); g++ {
+			rt.weight[g] = float32(e.part.Degree(g))
+		}
+	}
+	for g := int32(0); g < int32(e.n); g++ {
+		if e.part.Degree(g) > rt.heavyDeg {
+			e.flags[g] |= heavyBit
+		}
+	}
+	if rt.naive {
+		return
+	}
+	rt.fenSlab = make([]float32, e.part.Edges()+int64(e.n))
+	e.parallel(func(ln *Lane) {
+		for g := ln.lo; g < ln.hi; g++ {
+			e.rebuildTree(g)
+		}
+	})
+	if rt.mode == RouteAvailability {
+		// Degree weights never change, so only availability runs patch
+		// trees at barriers and need the heavy-edge CSR.
+		rt.heavyRow = make([]int64, e.n+1)
+		e.parallel(func(ln *Lane) {
+			for g := ln.lo; g < ln.hi; g++ {
+				c := int64(0)
+				for _, nb := range e.part.Neighbors(g) {
+					if e.flags[nb]&heavyBit != 0 {
+						c++
+					}
+				}
+				rt.heavyRow[g+1] = c
+			}
+		})
+		for g := 0; g < e.n; g++ {
+			rt.heavyRow[g+1] += rt.heavyRow[g]
+		}
+		rt.heavyNb = make([]int32, rt.heavyRow[e.n])
+		rt.heavyLeaf = make([]int32, rt.heavyRow[e.n])
+		e.parallel(func(ln *Lane) {
+			for g := ln.lo; g < ln.hi; g++ {
+				k := rt.heavyRow[g]
+				for _, nb := range e.part.Neighbors(g) {
+					if e.flags[nb]&heavyBit != 0 {
+						rt.heavyNb[k] = nb
+						rt.heavyLeaf[k] = int32(searchI32(e.part.Neighbors(nb), g))
+						k++
+					}
+				}
+			}
+		})
+	}
+}
+
+// tree returns peer g's slab tree (valid only when fenSlab is non-nil).
+func (e *Engine) tree(g int32) []float32 {
+	off := e.part.RowStart(g) + int64(g)
+	return e.rt.fenSlab[off : off+int64(e.part.Degree(g))+1]
+}
+
+// rebuildTree refreshes peer g's tree from the frozen weight mirror and
+// sets its built bit. Callable from g's owner lane mid-window (the slab
+// region and flag byte are lane-owned) and from the coordinator at
+// barriers; it marks g's segment dirty itself.
+func (e *Engine) rebuildTree(g int32) {
+	rt := &e.rt
+	nbrs := e.part.Neighbors(g)
+	tree := e.tree(g)
+	for i, nb := range nbrs {
+		tree[i+1] = rt.weight[nb]
+	}
+	tree[0] = xrand.FenBuild(tree)
+	e.flags[g] |= fenBuiltBit
+	e.lanes[e.part.ShardOf(g)].markPeer(g)
+}
+
+// publishWeights is the barrier's mirror-publish step: fold the window's
+// lifecycle deltas (already in canonical (time, peer) order) through the
+// availability EWMA, updating the weight mirror and the dependent trees.
+// Both passes run serially on the coordinator. The fold is a few
+// thousand cheap float ops per window; the tree-patch pass walks each
+// changed peer's row once, flipping light neighbors stale and patching
+// heavy ones through the CSR. A lane-striped parallel variant was tried
+// and retired: every worker must replay the whole delta list to find its
+// slice of each row, so striping multiplies the row-walk overhead by the
+// worker count and hands most of the win straight back — and the stale
+// flips' dirty marks then need a second, conservative coordinator pass
+// (workers cannot touch other lanes' dirty bitmaps race-free), while the
+// serial pass marks exactly what it changed, inline. Per-peer EWMA folds
+// and per-tree patch sequences are canonical-order subsequences of the
+// delta list either way, so results are bit-identical across shard
+// counts.
+func (e *Engine) publishWeights() {
+	rt := &e.rt
+	if cap(rt.wdelta) < len(e.lifeScratch) {
+		rt.wdelta = make([]float32, len(e.lifeScratch))
+	}
+	wd := rt.wdelta[:len(e.lifeScratch)]
+	for i, le := range e.lifeScratch {
+		g := le.g
+		death := g < 0
+		if death {
+			g = -1 - g
+		}
+		// EWMA of the online indicator over [scoreT, t): the peer was
+		// online up to a death and offline up to a rejoin.
+		d := math.Exp((rt.scoreT[g] - le.t) / rt.tau)
+		s := rt.score[g] * d
+		if death {
+			s += 1 - d
+		}
+		rt.score[g] = s
+		rt.scoreT[g] = le.t
+		w := rt.floor
+		if !death {
+			w += s
+		}
+		nw := float32(w)
+		wd[i] = nw - rt.weight[g]
+		rt.weight[g] = nw
+		e.lanes[e.part.ShardOf(g)].markPeer(g)
+	}
+	if rt.fenSlab == nil {
+		return
+	}
+	// Until a first capture exists the dirty maps are dead state — any
+	// chain opens with a base that clears them — so checkpoint-free runs
+	// skip the marking writes entirely.
+	doMark := e.captureGen != 0
+	for i, le := range e.lifeScratch {
+		if wd[i] == 0 {
+			continue
+		}
+		g := le.g
+		if g < 0 {
+			g = -1 - g
+		}
+		// Light neighbors with a built tree go stale (they rebuild lazily
+		// from the new mirror); heavy neighbors patch below via the CSR.
+		for _, nb := range e.part.Neighbors(g) {
+			fl := e.flags[nb]
+			if fl&(fenBuiltBit|heavyBit) != fenBuiltBit {
+				continue
+			}
+			e.flags[nb] = fl &^ fenBuiltBit
+			if doMark {
+				e.lanes[e.part.ShardOf(nb)].markPeer(nb)
+			}
+		}
+		for k := rt.heavyRow[g]; k < rt.heavyRow[g+1]; k++ {
+			nb := rt.heavyNb[k]
+			tr := e.tree(nb)
+			xrand.FenAdd(tr, int(rt.heavyLeaf[k]), wd[i])
+			tr[0] += wd[i]
+			if doMark {
+				e.lanes[e.part.ShardOf(nb)].markPeer(nb)
+			}
+		}
+	}
+}
+
+// PickNeighbor draws a spend destination for peer g from nbrs (g's
+// neighbor row) using the run's routing mode and the peer's own stream.
+// Exactly one logical draw per pick in every mode, so workload streams
+// stay aligned across modes' code paths. Owner-lane only.
+func (ln *Lane) PickNeighbor(t float64, g int32, nbrs []int32, r *xrand.SplitMix64) int32 {
+	e := ln.e
+	rt := &e.rt
+	if rt.mode == RouteUniform {
+		return nbrs[r.Intn(len(nbrs))]
+	}
+	if rt.naive {
+		return ln.naivePick(t, nbrs, r)
+	}
+	if e.flags[g]&fenBuiltBit == 0 {
+		e.rebuildTree(g)
+	}
+	tr := e.tree(g)
+	u := r.Float64() * float64(tr[0])
+	return nbrs[xrand.FenFind(tr, u)]
+}
+
+// naivePick is the reference O(degree) rescan: recompute every neighbor
+// weight (availability decays continuously to the pick time), then walk
+// the prefix sums. Reads only barrier-frozen state, so it is as
+// shard-count-invariant as the Fenwick path — just slow.
+func (ln *Lane) naivePick(t float64, nbrs []int32, r *xrand.SplitMix64) int32 {
+	e := ln.e
+	rt := &e.rt
+	if cap(ln.pick) < len(nbrs) {
+		ln.pick = make([]float64, len(nbrs))
+	}
+	pick := ln.pick[:len(nbrs)]
+	total := 0.0
+	for i, nb := range nbrs {
+		var w float64
+		if rt.mode == RouteDegree {
+			w = float64(e.part.Degree(nb))
+		} else {
+			w = rt.floor
+			if e.AliveEpoch(nb) {
+				w += rt.score[nb] * math.Exp((rt.scoreT[nb]-t)/rt.tau)
+			}
+		}
+		pick[i] = w
+		total += w
+	}
+	u := r.Float64() * total
+	for i, w := range pick {
+		u -= w
+		if u < 0 {
+			return nbrs[i]
+		}
+	}
+	return nbrs[len(nbrs)-1]
+}
+
+// WarmSampler is the routing half of the dispatch prefetch: when the
+// kernel knows peer g fires shortly, rebuild its stale tree now (an
+// idempotent refresh of a mirror-derived cache — results never depend on
+// it) or touch its hot total. Owner-lane only; returns a value folding
+// the loads so the compiler keeps them.
+func (e *Engine) WarmSampler(g int32) uint32 {
+	if e.rt.fenSlab == nil {
+		return 0
+	}
+	if e.flags[g]&fenBuiltBit == 0 {
+		e.rebuildTree(g)
+		return 1
+	}
+	return uint32(math.Float32bits(e.tree(g)[0]))
+}
+
+// RoutingWeight returns peer g's barrier-frozen routing weight — the
+// mirror value in-window sampling is proportional to (1 for RouteUniform).
+// Tests use it as the exact reference distribution.
+func (e *Engine) RoutingWeight(g int32) float64 {
+	if e.rt.mode == RouteUniform {
+		return 1
+	}
+	return float64(e.rt.weight[g])
+}
+
+// RoutingMode reports the run's routing mode.
+func (e *Engine) RoutingMode() Routing { return e.rt.mode }
+
+// routingDigest folds the results-affecting routing parameters into the
+// snapshot config digest. HeavyDegree is results-affecting: heavy trees
+// accumulate patches in canonical order while light trees rebuild, and
+// the two float histories differ in rounding.
+func (e *Engine) routingDigest(h uint64) uint64 {
+	rt := &e.rt
+	h = fnvU64(h, uint64(rt.mode))
+	if rt.mode == RouteUniform {
+		return h
+	}
+	h = fnvU64(h, math.Float64bits(rt.tau))
+	h = fnvU64(h, math.Float64bits(rt.floor))
+	h = fnvU64(h, uint64(rt.heavyDeg))
+	if rt.naive {
+		h = fnvU64(h, 0x6e61697665) // "naive"
+	}
+	return h
+}
+
+// searchI32 returns the index of x in the ascending slice a (the CSR
+// neighbor row); x must be present.
+func searchI32(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

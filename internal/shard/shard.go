@@ -57,6 +57,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -93,6 +94,22 @@ const (
 type ChurnConfig struct {
 	MeanLifespan float64
 	MeanDowntime float64
+
+	// RejoinRate, when non-nil, shapes the rejoin process as an
+	// inhomogeneous Poisson first-arrival: a departed peer rejoins at
+	// absolute-time rate RejoinRate(t) instead of the constant
+	// 1/MeanDowntime. Delays are drawn by Lewis–Shedler thinning against
+	// RejoinEnvelope from the peer's own stream, so time-varying arrival
+	// regimes (flash crowds, diurnal cycles) stay shard-count-invariant.
+	RejoinRate func(t float64) float64
+	// RejoinEnvelope returns a piecewise-constant majorant of RejoinRate:
+	// a rate >= RejoinRate(u) for all u in [t, until). Required with
+	// RejoinRate.
+	RejoinEnvelope func(t float64) (rate, until float64)
+	// RateDigest identifies the shape functions in the snapshot config
+	// digest (functions cannot be hashed), so restores refuse a run whose
+	// churn shaping differs.
+	RateDigest uint64
 }
 
 // Enabled reports whether the lifecycle process runs.
@@ -129,8 +146,12 @@ type Workload interface {
 // ActorWarmer is an optional Workload extension: WarmActor touches the
 // workload's own per-actor state (pending-event handles, role tables) as
 // a prefetch hint when the kernel knows the actor will fire shortly. It
-// must be a pure read — returning a value folded from the loads keeps
-// them observable — and runs on the actor's owner lane.
+// runs on the actor's owner lane and must be either a pure read —
+// returning a value folded from the loads keeps them observable (as
+// Engine.WarmSampler does for the sampler flag and total) — or an
+// idempotent owner-lane refresh of a derived cache whose contents are a
+// pure function of barrier-frozen state, so that simulation results
+// never depend on whether a warm happened.
 type ActorWarmer interface {
 	WarmActor(g int32) uint32
 }
@@ -165,6 +186,8 @@ type Config struct {
 	// PolicyEpoch is the engine epoch period (quantized up to barriers);
 	// 0 disables epoch hooks.
 	PolicyEpoch float64
+	// Routing selects how workloads sample spend destinations.
+	Routing RoutingConfig
 	// Workload is the lane behavior.
 	Workload Workload
 }
@@ -218,6 +241,9 @@ type Lane struct {
 	// warm sinks dispatch's read-ahead loads so the compiler keeps them;
 	// per-lane because dispatch runs concurrently across lanes.
 	warm uint32
+	// pick is the naive-rescan mode's recycled weight scratch (grow-once
+	// to the lane's max observed degree).
+	pick []float64
 	// dirty tracks which peer segments of this lane's partition were
 	// touched since the last state capture — the delta-checkpoint
 	// bookkeeping. Segment k covers global peers [lo+k*peerSegSize,
@@ -253,6 +279,10 @@ type Engine struct {
 	// and remote peers alike — which is what makes routing outcomes
 	// shard-count-invariant.
 	aliveEpoch []uint64
+
+	// rt is the weighted-routing state: the barrier-frozen weight mirror
+	// and the per-peer Fenwick slab (see routing.go).
+	rt routingState
 
 	lanes []*Lane
 
@@ -314,7 +344,18 @@ type Engine struct {
 // trimEvery is the window cadence of the high-water buffer trim.
 const trimEvery = 64
 
-const aliveBit = uint8(1)
+// Per-peer flag bits. aliveBit is the owner-lane liveness view.
+// fenBuiltBit marks the peer's Fenwick tree as matching the frozen weight
+// mirror (cleared when a light peer's neighbor weight changes; heavy
+// peers' trees are patched in place and never go stale). heavyBit marks
+// degree > HeavyDegree, precomputed at New. Flag bytes are written only
+// by the owner lane in-window and the coordinator at barriers, so the
+// bits never race.
+const (
+	aliveBit    = uint8(1)
+	fenBuiltBit = uint8(2)
+	heavyBit    = uint8(4)
+)
 
 // New validates the configuration and builds an engine. Call Start (or
 // Run) to arm the initial events; a freshly built engine is also the
@@ -339,7 +380,19 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("%w: Window=%v with Horizon=%v", ErrBadConfig, cfg.Window, cfg.Horizon)
 	}
 	if (cfg.Churn.MeanLifespan > 0) != (cfg.Churn.MeanDowntime > 0) {
-		return nil, fmt.Errorf("%w: churn needs both MeanLifespan and MeanDowntime (got %+v)", ErrBadConfig, cfg.Churn)
+		return nil, fmt.Errorf("%w: churn needs both MeanLifespan and MeanDowntime (got MeanLifespan=%v MeanDowntime=%v)",
+			ErrBadConfig, cfg.Churn.MeanLifespan, cfg.Churn.MeanDowntime)
+	}
+	if cfg.Churn.RejoinRate != nil {
+		if cfg.Churn.RejoinEnvelope == nil {
+			return nil, fmt.Errorf("%w: Churn.RejoinRate needs Churn.RejoinEnvelope", ErrBadConfig)
+		}
+		if !cfg.Churn.Enabled() {
+			return nil, fmt.Errorf("%w: Churn.RejoinRate needs an enabled lifecycle process", ErrBadConfig)
+		}
+	}
+	if err := validateRouting(&cfg); err != nil {
+		return nil, err
 	}
 	part, err := topology.NewPartition(cfg.Graph, cfg.Shards)
 	if err != nil {
@@ -401,6 +454,7 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.polRNG = xrand.New(cfg.Seed ^ 0x5ca1ab1e)
 	e.host.e = e
+	e.initRouting()
 	e.dispatchFn = func(ln *Lane) {
 		for d := range ln.out {
 			ln.out[d].Reset()
@@ -499,10 +553,13 @@ func (e *Engine) StepWindow() bool {
 		e.timings.Apply += time.Since(t2)
 	}
 	// Phase 4 (churn): coordinator — lifecycle deltas into the epoch
-	// bitmap (and policy join/depart hooks), epoch hooks, samples.
+	// bitmap (and policy join/depart hooks), weight-mirror publish, epoch
+	// hooks, samples. The publish span accrues inside barrier; subtract it
+	// here so Churn and Publish partition the phase.
 	t3 := time.Now()
+	pub0 := e.timings.Publish
 	e.barrier(tEnd)
-	e.timings.Churn += time.Since(t3)
+	e.timings.Churn += time.Since(t3) - (e.timings.Publish - pub0)
 	e.now = tEnd
 	e.windows++
 	e.timings.Windows++
@@ -629,10 +686,51 @@ func (ln *Lane) depart(ev des.Event) {
 	ln.burned += b
 	e.bal[g] = 0
 	e.cfg.Workload.Retire(ln, g)
-	ln.schedule(e.rng[g].Exponential(1/e.cfg.Churn.MeanDowntime), KindRejoin, g, 0)
+	if d := ln.rejoinDelay(g, ev.Time); !math.IsInf(d, 1) {
+		ln.schedule(d, KindRejoin, g, 0)
+	}
 	// Deaths carry the encoded peer (-1-g) from the start, so the barrier
 	// merge consumes the lane runs without a re-encode pass.
 	ln.deaths = appendLife(ln.deaths, lifeEvent{t: ev.Time, g: -1 - g})
+}
+
+// rejoinDelay draws the departed peer's offline spell from its own
+// stream. Constant-rate churn is a single exponential; with RejoinRate
+// set, the rejoin is the first arrival of an inhomogeneous Poisson
+// process, drawn by Lewis–Shedler thinning against the envelope: advance
+// through envelope segments with envelope-rate exponentials, accept each
+// candidate with probability rate/envelope. Every draw comes from peer
+// g's stream, so the spell — and the number of words consumed — is a pure
+// function of (stream state, departure time), shard-count-invariant.
+// Returns +Inf when the envelope reports no further arrivals (the peer
+// never rejoins).
+func (ln *Lane) rejoinDelay(g int32, t0 float64) float64 {
+	e := ln.e
+	c := &e.cfg.Churn
+	r := &e.rng[g]
+	if c.RejoinRate == nil {
+		return r.Exponential(1 / c.MeanDowntime)
+	}
+	t := t0
+	for {
+		env, until := c.RejoinEnvelope(t)
+		if env <= 0 {
+			if until <= t || math.IsInf(until, 1) {
+				return math.Inf(1)
+			}
+			t = until
+			continue
+		}
+		d := r.Exponential(env)
+		if t+d > until {
+			t = until
+			continue
+		}
+		t += d
+		if r.Bernoulli(c.RejoinRate(t) / env) {
+			return t - t0
+		}
+	}
 }
 
 // rejoin brings a peer back online with a fresh endowment.
@@ -873,6 +971,14 @@ func (e *Engine) barrier(tB float64) {
 				e.engine.Joined(h, le.g)
 			}
 		}
+	}
+	if e.rt.mode == RouteAvailability {
+		// Mirror publish: fold the same canonical delta sequence through
+		// the availability EWMA, refreshing the frozen weights every lane
+		// samples from next window.
+		tP := time.Now()
+		e.publishWeights()
+		e.timings.Publish += time.Since(tP)
 	}
 	if e.engine != nil && e.polEpoch > 0 {
 		for e.nextPol <= tB {

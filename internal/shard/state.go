@@ -99,6 +99,36 @@ func (ln *Lane) save(w *snapshot.Writer) {
 	w.U64(ln.lostCount)
 	w.Int(ln.liveN)
 	w.I64s(trimHist(ln.hist))
+	ln.saveRouting(w)
+}
+
+// saveRouting emits the lane's slices of the routing state: the weight
+// mirror, the availability EWMA, and the lane's span of the Fenwick slab
+// (peer trees are laid out in peer order, so a lane's trees are
+// contiguous). Serializing the trees — rather than rebuilding on restore
+// — preserves the exact built/stale split and the heavy trees' patch
+// history, keeping resumed byte streams identical.
+func (ln *Lane) saveRouting(w *snapshot.Writer) {
+	rt := &ln.e.rt
+	if rt.mode == RouteUniform {
+		return
+	}
+	w.F32s(rt.weight[ln.lo:ln.hi])
+	if rt.mode == RouteAvailability {
+		w.F64s(rt.score[ln.lo:ln.hi])
+		w.F64s(rt.scoreT[ln.lo:ln.hi])
+	}
+	if rt.fenSlab != nil {
+		s0, s1 := ln.slabSpan()
+		w.F32s(rt.fenSlab[s0:s1])
+	}
+}
+
+// slabSpan returns the lane's Fenwick-slab bounds: peer g's tree starts
+// at RowStart(g)+g, so the lane's trees occupy [start(lo), start(hi)).
+func (ln *Lane) slabSpan() (lo, hi int64) {
+	pt := ln.e.part
+	return pt.RowStart(ln.lo) + int64(ln.lo), pt.RowStart(ln.hi) + int64(ln.hi)
 }
 
 // saveWorkload emits the workload section.
@@ -231,6 +261,9 @@ func (e *Engine) LoadState(r *snapshot.Reader) error {
 			ln.growHist(int64(len(hist) - 1))
 			copy(ln.hist, hist)
 		}
+		if err := ln.loadRouting(r); err != nil {
+			return err
+		}
 	}
 
 	r.Section("workload")
@@ -238,6 +271,58 @@ func (e *Engine) LoadState(r *snapshot.Reader) error {
 		return err
 	}
 	return r.Err()
+}
+
+// loadRouting restores the lane's routing slices, mirroring saveRouting.
+func (ln *Lane) loadRouting(r *snapshot.Reader) error {
+	rt := &ln.e.rt
+	if rt.mode == RouteUniform {
+		return nil
+	}
+	if err := loadF32Into(r, rt.weight[ln.lo:ln.hi], "routing weights"); err != nil {
+		return err
+	}
+	if rt.mode == RouteAvailability {
+		if err := loadF64Into(r, rt.score[ln.lo:ln.hi], "availability scores"); err != nil {
+			return err
+		}
+		if err := loadF64Into(r, rt.scoreT[ln.lo:ln.hi], "availability score times"); err != nil {
+			return err
+		}
+	}
+	if rt.fenSlab != nil {
+		s0, s1 := ln.slabSpan()
+		if err := loadF32Into(r, rt.fenSlab[s0:s1], "sampler slab"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadF64Into reads a float array into dst, refusing size drift.
+func loadF64Into(r *snapshot.Reader, dst []float64, what string) error {
+	got := r.F64s(len(dst))
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(got) != len(dst) {
+		return fmt.Errorf("shard: snapshot %s sized %d, engine wants %d", what, len(got), len(dst))
+	}
+	copy(dst, got)
+	return nil
+}
+
+// loadF32Into is loadF64Into for the float32 slab and mirror arrays.
+func loadF32Into(r *snapshot.Reader, dst []float32, what string) error {
+	got := r.F32s(len(dst))
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(got) != len(dst) {
+		return fmt.Errorf("shard: snapshot %s sized %d, engine wants %d", what, len(got), len(dst))
+	}
+	copy(dst, got)
+	return nil
 }
 
 // configDigest folds the run configuration that the serialized state
@@ -255,6 +340,11 @@ func (e *Engine) configDigest() uint64 {
 	h = fnvU64(h, uint64(e.cfg.Queue))
 	h = fnvU64(h, math.Float64bits(e.cfg.Churn.MeanLifespan))
 	h = fnvU64(h, math.Float64bits(e.cfg.Churn.MeanDowntime))
+	if e.cfg.Churn.RejoinRate != nil {
+		h = fnvU64(h, 0x726a7368617065) // "rjshape": churn shaping present
+		h = fnvU64(h, e.cfg.Churn.RateDigest)
+	}
+	h = e.routingDigest(h)
 	h = fnvU64(h, uint64(len(e.cfg.Policies)))
 	h = fnvU64(h, uint64(e.part.Edges()))
 	h = fnvU64(h, e.cfg.Workload.Digest())

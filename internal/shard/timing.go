@@ -21,6 +21,8 @@ import (
 //	         without policies, one canonical coordinator pass with them)
 //	Churn    — lifecycle merge into the epoch bitmap, policy epoch hooks,
 //	         metric samples
+//	Publish  — weight-mirror publish: availability EWMA fold and Fenwick
+//	         refresh (availability routing only; zero otherwise)
 type Timings struct {
 	// Windows counts completed conservative-sync windows.
 	Windows uint64
@@ -32,6 +34,7 @@ type Timings struct {
 	Merge    time.Duration
 	Apply    time.Duration
 	Churn    time.Duration
+	Publish  time.Duration
 
 	// Checkpoint sub-spans (populated when a Checkpointer is attached).
 	// Wait + Copy is the barrier-visible stall: Wait drains the previous
@@ -51,7 +54,7 @@ func (t Timings) CheckpointStall() time.Duration { return t.CkptWait + t.CkptCop
 
 // Total sums the phase durations.
 func (t Timings) Total() time.Duration {
-	return t.Dispatch + t.Merge + t.Apply + t.Churn
+	return t.Dispatch + t.Merge + t.Apply + t.Churn + t.Publish
 }
 
 // Write prints the breakdown as an aligned per-phase table: total wall
@@ -70,6 +73,7 @@ func (t Timings) Write(w io.Writer) error {
 		{"merge", t.Merge},
 		{"apply", t.Apply},
 		{"churn", t.Churn},
+		{"publish", t.Publish},
 	}
 	for _, ph := range phases {
 		share := 0.0

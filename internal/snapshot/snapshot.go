@@ -301,6 +301,21 @@ func (w *Writer) F64s(s []float64) {
 	}
 }
 
+// F32s writes a length-prefixed []float32.
+func (w *Writer) F32s(s []float32) {
+	w.U64(uint64(len(s)))
+	if len(s) == 0 {
+		return
+	}
+	if hostLittleEndian {
+		w.bulkAppend(unsafe.Pointer(&s[0]), len(s), 4)
+		return
+	}
+	for _, v := range s {
+		w.U32(math.Float32bits(v))
+	}
+}
+
 // --- Reader ---
 
 // Reader parses a snapshot previously produced by a Writer. Errors are
@@ -610,6 +625,27 @@ func (r *Reader) F64s(max int) []float64 {
 	} else {
 		for i := range out {
 			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+		}
+	}
+	return out
+}
+
+// F32s reads a length-prefixed []float32.
+func (r *Reader) F32s(max int) []float32 {
+	n := r.count("[]float32", 4, max)
+	if n <= 0 {
+		return nil
+	}
+	b := r.take(n*4, "[]float32")
+	if b == nil {
+		return nil
+	}
+	out := make([]float32, n)
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*4), b)
+	} else {
+		for i := range out {
+			out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
 		}
 	}
 	return out

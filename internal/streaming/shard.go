@@ -113,7 +113,7 @@ func (s *ShardStreaming) OnEvent(ln *shard.Lane, ev des.Event) {
 	} else {
 		for k := 0; k < s.cfg.StreamRate; k++ {
 			c.chunkRequests++
-			dst := nbrs[r.Intn(len(nbrs))]
+			dst := ln.PickNeighbor(ev.Time, g, nbrs, r)
 			switch {
 			case !s.e.AliveEpoch(dst):
 				c.chunksOffline++
@@ -127,6 +127,13 @@ func (s *ShardStreaming) OnEvent(ln *shard.Lane, ev des.Event) {
 		}
 	}
 	s.pend[g] = ln.ScheduleAt(ev.Time+s.cfg.RoundPeriod, shard.KindUser, g, 0)
+}
+
+// WarmActor implements shard.ActorWarmer: it touches the peer's pending
+// handle and warms the routing sampler, rebuilding a barrier-staled
+// Fenwick tree ahead of the round's picks.
+func (s *ShardStreaming) WarmActor(g int32) uint32 {
+	return uint32(s.pend[g].Pack()) + s.e.WarmSampler(g)
 }
 
 // Retire cancels the departing peer's next round.

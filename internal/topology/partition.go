@@ -143,6 +143,12 @@ func (pt *Partition) Degree(i int32) int {
 	return int(pt.offs[i+1] - pt.offs[i])
 }
 
+// RowStart returns the arena offset of peer i's CSR row — the prefix sum
+// of degrees below i. Valid for i in [0, N]; RowStart(N) is Edges(). The
+// sharded kernel uses it to address per-peer sub-slabs laid out in row
+// order over one shared arena.
+func (pt *Partition) RowStart(i int32) int64 { return pt.offs[i] }
+
 // Edges returns the number of directed adjacency entries (2x the
 // undirected edge count).
 func (pt *Partition) Edges() int64 { return int64(len(pt.nbrs)) }

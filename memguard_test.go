@@ -15,6 +15,9 @@ import (
 	"runtime"
 	"testing"
 
+	"creditp2p/internal/des"
+	"creditp2p/internal/market"
+	"creditp2p/internal/shard"
 	"creditp2p/internal/topology"
 	"creditp2p/internal/xrand"
 )
@@ -86,5 +89,44 @@ func TestStreamingMemoryPerPeerCeiling(t *testing.T) {
 	t.Logf("streaming engine footprint: %d B/peer (ceiling %d)", perPeer, ceiling)
 	if perPeer > ceiling {
 		t.Errorf("streaming run retained %d B/peer, ceiling %d — the memory diet regressed", perPeer, ceiling)
+	}
+}
+
+// TestShardRoutingMemoryPerPeerCeiling guards the weighted sampler's side
+// arrays on the sharded kernel: the Fenwick slab is (degree+1) floats per
+// peer (~168 B at mean degree 20) and the mirror/EWMA/total columns add
+// 32 B, on top of the engine's own CSR, stream, balance and queue state.
+// The ceiling carries ~2x headroom over the measured footprint; per-tree
+// headers or a map-backed mirror would trip it immediately.
+func TestShardRoutingMemoryPerPeerCeiling(t *testing.T) {
+	const n = 20_000
+	g, err := topology.ScaleFree(topology.ScaleFreeConfig{N: n, Alpha: 2.5, MeanDegree: 20}, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := measureHeapGrowth(t, func() {
+		w, err := market.NewShard(market.ShardConfig{Mu: 1, Amount: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shard.Run(shard.Config{
+			Graph:         g,
+			Shards:        2,
+			Horizon:       5,
+			Seed:          8,
+			InitialWealth: 20,
+			Queue:         des.Calendar,
+			Churn:         shard.ChurnConfig{MeanLifespan: 15, MeanDowntime: 5},
+			Routing:       shard.RoutingConfig{Mode: shard.RouteAvailability},
+			Workload:      w,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const ceiling = 1000 // bytes/peer; ~2x the measured ~490 B/peer footprint
+	perPeer := grown / n
+	t.Logf("sharded availability-routed footprint: %d B/peer (ceiling %d)", perPeer, ceiling)
+	if perPeer > ceiling {
+		t.Errorf("routed shard run retained %d B/peer, ceiling %d — the sampler side arrays regressed", perPeer, ceiling)
 	}
 }
